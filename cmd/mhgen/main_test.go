@@ -1,0 +1,103 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/fixtures"
+)
+
+func writeModule(t *testing.T) (srcDir, specFile string) {
+	t.Helper()
+	dir := t.TempDir()
+	srcDir = filepath.Join(dir, "compute")
+	if err := os.MkdirAll(srcDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(srcDir, "compute.go"), []byte(fixtures.ComputeSource), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	specFile = filepath.Join(dir, "app.mil")
+	if err := os.WriteFile(specFile, []byte(fixtures.MonitorSpec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return srcDir, specFile
+}
+
+func TestMhgenWritesInstrumentedModule(t *testing.T) {
+	srcDir, specFile := writeModule(t)
+	outDir := filepath.Join(t.TempDir(), "gen")
+
+	err := run([]string{
+		"-src", srcDir,
+		"-spec", specFile,
+		"-module", "compute",
+		"-o", outDir,
+		"-dot",
+	}, os.Stdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	gen, err := os.ReadFile(filepath.Join(outDir, "compute.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Spec mode applied: the Figure 2 state list {num, n, rp}.
+	if !strings.Contains(string(gen), `mh.Capture("compute", "liiF", 4, num, n, *rp)`) {
+		t.Errorf("generated module missing spec-mode capture:\n%s", gen)
+	}
+	for _, f := range []string{"static.dot", "reconfig.dot"} {
+		data, err := os.ReadFile(filepath.Join(outDir, f))
+		if err != nil || len(data) == 0 {
+			t.Errorf("%s: %v", f, err)
+		}
+	}
+}
+
+func TestMhgenStandalone(t *testing.T) {
+	srcDir, _ := writeModule(t)
+	outDir := filepath.Join(t.TempDir(), "gen")
+	err := run([]string{"-src", srcDir, "-o", outDir, "-standalone", "-mode", "all"}, os.Stdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boot, err := os.ReadFile(filepath.Join(outDir, "mh_main.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(boot), "mhrt.MustFromEnv") {
+		t.Errorf("bootstrap:\n%s", boot)
+	}
+	gen, err := os.ReadFile(filepath.Join(outDir, "compute.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(gen), "package main") || !strings.Contains(string(gen), "func mhModuleMain()") {
+		t.Errorf("standalone module:\n%s", gen)
+	}
+}
+
+func TestMhgenErrors(t *testing.T) {
+	srcDir, specFile := writeModule(t)
+	cases := [][]string{
+		{},                                 // no -src
+		{"-src", "/nonexistent"},           // bad dir
+		{"-src", srcDir, "-mode", "bogus"}, // bad mode
+	}
+	for _, args := range cases {
+		if err := run(args, os.Stdout); err == nil {
+			t.Errorf("no error for %v", args)
+		}
+	}
+	// -spec without -module
+	if err := run([]string{"-src", srcDir, "-spec", specFile}, os.Stdout); err == nil {
+		t.Error("spec without module accepted")
+	}
+	// unknown module in spec
+	if err := run([]string{"-src", srcDir, "-spec", specFile, "-module", "ghost"}, os.Stdout); err == nil {
+		t.Error("unknown module accepted")
+	}
+}

@@ -1,0 +1,166 @@
+// Command polybus runs a distributed application from a configuration
+// specification: the software bus, every module instance (interpreted from
+// module-language sources, automatically prepared for reconfiguration when
+// their specification declares points), and two TCP listeners — one for
+// remote module attachments, one for the reconfiguration control plane
+// (drive it with reconfigctl).
+//
+//	polybus -spec app.mil -srcdir ./modules [-app name] \
+//	        [-listen 127.0.0.1:7007] [-control 127.0.0.1:7008] \
+//	        [-duration 30s] [-sleepunit 10ms]
+//
+// Module sources are read from <srcdir>/<module>/*.go. Modules without a
+// source directory must be attached remotely (their instances wait for a
+// TCP attachment).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro"
+	"repro/internal/bus"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "polybus:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("polybus", flag.ContinueOnError)
+	var (
+		specFile   = fs.String("spec", "", "configuration specification (required)")
+		srcDir     = fs.String("srcdir", "", "directory of per-module source directories (required)")
+		appName    = fs.String("app", "", "application name (default: the sole one)")
+		listenAddr = fs.String("listen", "", "TCP address for remote module attachments")
+		ctlAddr    = fs.String("control", "", "TCP address for the reconfiguration control plane")
+		duration   = fs.Duration("duration", 0, "run time (0 = until interrupted)")
+		sleepUnit  = fs.Duration("sleepunit", 10*time.Millisecond, "duration of one mh.Sleep tick")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *specFile == "" || *srcDir == "" {
+		return fmt.Errorf("-spec and -srcdir are required")
+	}
+	specText, err := os.ReadFile(*specFile)
+	if err != nil {
+		return err
+	}
+
+	cfg := reconf.Config{
+		SpecText:    string(specText),
+		Application: *appName,
+		Sources:     map[string]reconf.ModuleSource{},
+		SleepUnit:   *sleepUnit,
+	}
+	entries, err := os.ReadDir(*srcDir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		files, err := readModuleDir(filepath.Join(*srcDir, e.Name()))
+		if err != nil {
+			return err
+		}
+		if len(files) > 0 {
+			cfg.Sources[e.Name()] = reconf.ModuleSource{Files: files}
+		}
+	}
+
+	app, err := reconf.Load(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println("application:", app.Application.Name)
+	fmt.Println(app.Topology())
+
+	// Launch local instances; instances whose module has no local source
+	// wait for a remote attachment.
+	remoteWait := []string{}
+	for _, inst := range app.Application.Instances {
+		if _, ok := cfg.Sources[inst.Module]; ok {
+			if err := app.Launch(inst.Name); err != nil {
+				return err
+			}
+			fmt.Println("launched", inst.Name)
+		} else {
+			remoteWait = append(remoteWait, inst.Name)
+		}
+	}
+	if len(remoteWait) > 0 {
+		fmt.Println("waiting for remote attachments:", strings.Join(remoteWait, ", "))
+	}
+
+	if *listenAddr != "" {
+		l, err := net.Listen("tcp", *listenAddr)
+		if err != nil {
+			return err
+		}
+		srv := bus.NewServer(app.Bus(), l)
+		defer srv.Close()
+		fmt.Println("module attachments on", srv.Addr())
+	}
+	if *ctlAddr != "" {
+		l, err := net.Listen("tcp", *ctlAddr)
+		if err != nil {
+			return err
+		}
+		ctl := app.ServeControl(l)
+		defer ctl.Close()
+		fmt.Println("control plane on", ctl.Addr())
+	}
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	if *duration > 0 {
+		select {
+		case <-time.After(*duration):
+		case <-sigs:
+		}
+	} else {
+		<-sigs
+	}
+
+	fmt.Println("\nfinal topology:")
+	fmt.Println(app.Topology())
+	fmt.Println("\nreconfiguration trace:")
+	fmt.Println(reconf.FormatTrace(app.Trace()))
+	st := app.Bus().Stats()
+	fmt.Printf("\nbus stats: delivered=%d dropped=%d rebinds=%d signals=%d moves=%d\n",
+		st.Delivered, st.Dropped, st.Rebinds, st.Signals, st.Moves)
+	app.Stop()
+	return nil
+}
+
+func readModuleDir(dir string) (map[string]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	files := map[string]string{}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		files[e.Name()] = string(data)
+	}
+	return files, nil
+}

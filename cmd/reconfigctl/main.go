@@ -1,0 +1,132 @@
+// Command reconfigctl drives dynamic reconfigurations against a running
+// polybus application over its control plane.
+//
+//	reconfigctl -addr 127.0.0.1:7008 topology
+//	reconfigctl -addr 127.0.0.1:7008 instances
+//	reconfigctl -addr 127.0.0.1:7008 move <inst> <newName> <machine>
+//	reconfigctl -addr 127.0.0.1:7008 replace <inst> <newName> [machine] [module]
+//	reconfigctl -addr 127.0.0.1:7008 update <inst> <newName> <module>
+//	reconfigctl -addr 127.0.0.1:7008 replicate <inst> <newName> [machine]
+//	reconfigctl -addr 127.0.0.1:7008 remove <inst>
+//	reconfigctl -addr 127.0.0.1:7008 trace
+//	reconfigctl -addr 127.0.0.1:7008 stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "reconfigctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("reconfigctl", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:7008", "control plane address")
+	timeout := fs.Duration("timeout", 5*time.Second, "dial timeout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rest := fs.Args()
+	if len(rest) == 0 {
+		return fmt.Errorf("no command (topology|instances|move|replace|update|replicate|remove|trace|stats)")
+	}
+
+	c, err := reconf.DialControl(*addr, *timeout)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+
+	arg := func(i int) string {
+		if i < len(rest) {
+			return rest[i]
+		}
+		return ""
+	}
+	need := func(n int) error {
+		if len(rest) < n+1 {
+			return fmt.Errorf("%s: missing arguments", rest[0])
+		}
+		return nil
+	}
+
+	switch rest[0] {
+	case "topology":
+		topo, err := c.Topology()
+		if err != nil {
+			return err
+		}
+		fmt.Println(topo)
+	case "instances":
+		insts, err := c.Instances()
+		if err != nil {
+			return err
+		}
+		fmt.Println(strings.Join(insts, "\n"))
+	case "move":
+		if err := need(3); err != nil {
+			return err
+		}
+		if err := c.Move(arg(1), arg(2), arg(3)); err != nil {
+			return err
+		}
+		fmt.Println("moved", arg(1), "->", arg(2), "on", arg(3))
+	case "replace":
+		if err := need(2); err != nil {
+			return err
+		}
+		if err := c.Replace(arg(1), arg(2), arg(3), arg(4)); err != nil {
+			return err
+		}
+		fmt.Println("replaced", arg(1), "->", arg(2))
+	case "update":
+		if err := need(3); err != nil {
+			return err
+		}
+		if err := c.Update(arg(1), arg(2), arg(3)); err != nil {
+			return err
+		}
+		fmt.Println("updated", arg(1), "->", arg(2), "running module", arg(3))
+	case "replicate":
+		if err := need(2); err != nil {
+			return err
+		}
+		if err := c.Replicate(arg(1), arg(2), arg(3)); err != nil {
+			return err
+		}
+		fmt.Println("replicated", arg(1), "->", arg(2))
+	case "remove":
+		if err := need(1); err != nil {
+			return err
+		}
+		if err := c.Remove(arg(1)); err != nil {
+			return err
+		}
+		fmt.Println("removed", arg(1))
+	case "trace":
+		trace, err := c.Trace()
+		if err != nil {
+			return err
+		}
+		fmt.Println(reconf.FormatTrace(trace))
+	case "stats":
+		stats, err := c.Stats()
+		if err != nil {
+			return err
+		}
+		fmt.Println(stats)
+	default:
+		return fmt.Errorf("unknown command %q", rest[0])
+	}
+	return nil
+}

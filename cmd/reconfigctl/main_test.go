@@ -1,0 +1,78 @@
+package main
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/fixtures"
+)
+
+func startApp(t *testing.T) (*reconf.App, string) {
+	t.Helper()
+	app, err := reconf.Load(reconf.Config{
+		SpecText: fixtures.MonitorSpec,
+		Sources: map[string]reconf.ModuleSource{
+			"compute": {Files: map[string]string{"compute.go": fixtures.ComputeSource}},
+		},
+		Native: map[string]reconf.NativeModule{
+			"sensor":  fixtures.Sensor(fixtures.SensorConfig{Interval: 1}),
+			"display": fixtures.Display(4, 1000, 1, nil),
+		},
+		SleepUnit:    100 * time.Microsecond,
+		StateTimeout: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(app.Stop)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := app.ServeControl(l)
+	t.Cleanup(func() { srv.Close() })
+	return app, srv.Addr().String()
+}
+
+func TestReconfigctlCommands(t *testing.T) {
+	_, addr := startApp(t)
+	time.Sleep(50 * time.Millisecond) // let the first request start
+
+	ok := [][]string{
+		{"-addr", addr, "topology"},
+		{"-addr", addr, "instances"},
+		{"-addr", addr, "stats"},
+		{"-addr", addr, "trace"},
+		{"-addr", addr, "move", "compute", "compute2", "machineB"},
+		{"-addr", addr, "trace"},
+		{"-addr", addr, "replicate", "compute2", "computeB", "machineC"},
+		{"-addr", addr, "remove", "computeB"},
+	}
+	for _, args := range ok {
+		if err := run(args); err != nil {
+			t.Fatalf("%v: %v", args, err)
+		}
+	}
+
+	bad := [][]string{
+		{"-addr", addr},                        // no command
+		{"-addr", addr, "frobnicate"},          // unknown
+		{"-addr", addr, "move", "compute2"},    // missing args
+		{"-addr", addr, "move", "g", "h", "m"}, // unknown instance
+		{"-addr", addr, "remove"},              // missing args
+		{"-addr", addr, "update", "x"},         // missing args
+		{"-addr", addr, "replace", "x"},        // missing args
+		{"-addr", addr, "replicate", "x"},      // missing args
+		{"-addr", "127.0.0.1:1", "topology"},   // dead server
+	}
+	for _, args := range bad {
+		if err := run(args); err == nil {
+			t.Errorf("no error for %v", args)
+		}
+	}
+}

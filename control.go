@@ -1,0 +1,236 @@
+package reconf
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/reconfig"
+)
+
+// The control protocol lets an operator tool (cmd/reconfigctl) drive
+// reconfigurations against a running application from another process:
+// one gob-framed request/response pair per operation.
+
+type ctlRequest struct {
+	Op      string // topology|instances|move|replace|update|replicate|remove|trace|stats
+	Inst    string
+	NewName string
+	Machine string
+	Module  string
+}
+
+type ctlResponse struct {
+	Err  string
+	Text string
+	List []string
+}
+
+// ControlServer serves control requests for one App.
+type ControlServer struct {
+	app *App
+	l   net.Listener
+
+	mu        sync.Mutex
+	conns     map[net.Conn]struct{}
+	closeOnce sync.Once
+}
+
+// ServeControl starts a control server on l.
+func (a *App) ServeControl(l net.Listener) *ControlServer {
+	s := &ControlServer{app: a, l: l, conns: map[net.Conn]struct{}{}}
+	go s.acceptLoop()
+	return s
+}
+
+// Addr returns the listener address.
+func (s *ControlServer) Addr() net.Addr { return s.l.Addr() }
+
+// Close stops the server. Idempotent.
+func (s *ControlServer) Close() error {
+	var err error
+	s.closeOnce.Do(func() {
+		err = s.l.Close()
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+	})
+	return err
+}
+
+func (s *ControlServer) acceptLoop() {
+	for {
+		conn, err := s.l.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		go s.serve(conn)
+	}
+}
+
+func (s *ControlServer) serve(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var req ctlRequest
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		if err := enc.Encode(s.handle(req)); err != nil {
+			return
+		}
+	}
+}
+
+func (s *ControlServer) handle(req ctlRequest) ctlResponse {
+	a := s.app
+	fail := func(err error) ctlResponse { return ctlResponse{Err: err.Error()} }
+	switch req.Op {
+	case "topology":
+		return ctlResponse{Text: a.Topology()}
+	case "instances":
+		return ctlResponse{List: a.bus.Instances()}
+	case "move":
+		if err := a.Move(req.Inst, req.NewName, req.Machine); err != nil {
+			return fail(err)
+		}
+	case "replace":
+		if err := a.Replace(req.Inst, reconfig.ReplaceOptions{NewName: req.NewName, Machine: req.Machine, Module: req.Module}); err != nil {
+			return fail(err)
+		}
+	case "update":
+		if err := a.Update(req.Inst, req.NewName, req.Module); err != nil {
+			return fail(err)
+		}
+	case "replicate":
+		if err := a.Replicate(req.Inst, req.NewName, req.Machine); err != nil {
+			return fail(err)
+		}
+	case "remove":
+		if err := a.Remove(req.Inst); err != nil {
+			return fail(err)
+		}
+	case "trace":
+		return ctlResponse{List: a.Trace()}
+	case "stats":
+		st := a.bus.Stats()
+		return ctlResponse{Text: fmt.Sprintf(
+			"delivered=%d dropped=%d rebinds=%d signals=%d moves=%d",
+			st.Delivered, st.Dropped, st.Rebinds, st.Signals, st.Moves)}
+	default:
+		return ctlResponse{Err: fmt.Sprintf("reconf: unknown control op %q", req.Op)}
+	}
+	return ctlResponse{Text: "ok"}
+}
+
+// ControlClient drives a remote application.
+type ControlClient struct {
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+	mu   sync.Mutex
+}
+
+// DialControl connects to a control server.
+func DialControl(addr string, timeout time.Duration) (*ControlClient, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("reconf: dial control %s: %w", addr, err)
+	}
+	return &ControlClient{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}, nil
+}
+
+// Close releases the connection.
+func (c *ControlClient) Close() error { return c.conn.Close() }
+
+func (c *ControlClient) call(req ctlRequest) (ctlResponse, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enc.Encode(req); err != nil {
+		return ctlResponse{}, fmt.Errorf("reconf: control send: %w", err)
+	}
+	var resp ctlResponse
+	if err := c.dec.Decode(&resp); err != nil {
+		return ctlResponse{}, fmt.Errorf("reconf: control recv: %w", err)
+	}
+	if resp.Err != "" {
+		return ctlResponse{}, fmt.Errorf("reconf: control: %s", resp.Err)
+	}
+	return resp, nil
+}
+
+// Topology fetches the remote Figure 1 view.
+func (c *ControlClient) Topology() (string, error) {
+	resp, err := c.call(ctlRequest{Op: "topology"})
+	return resp.Text, err
+}
+
+// Instances lists remote instances.
+func (c *ControlClient) Instances() ([]string, error) {
+	resp, err := c.call(ctlRequest{Op: "instances"})
+	return resp.List, err
+}
+
+// Move relocates an instance remotely.
+func (c *ControlClient) Move(inst, newName, machine string) error {
+	_, err := c.call(ctlRequest{Op: "move", Inst: inst, NewName: newName, Machine: machine})
+	return err
+}
+
+// Replace runs the replacement script remotely.
+func (c *ControlClient) Replace(inst, newName, machine, module string) error {
+	_, err := c.call(ctlRequest{Op: "replace", Inst: inst, NewName: newName, Machine: machine, Module: module})
+	return err
+}
+
+// Update swaps a module implementation remotely.
+func (c *ControlClient) Update(inst, newName, module string) error {
+	_, err := c.call(ctlRequest{Op: "update", Inst: inst, NewName: newName, Module: module})
+	return err
+}
+
+// Replicate adds a replica remotely.
+func (c *ControlClient) Replicate(inst, newName, machine string) error {
+	_, err := c.call(ctlRequest{Op: "replicate", Inst: inst, NewName: newName, Machine: machine})
+	return err
+}
+
+// Remove deletes an instance remotely.
+func (c *ControlClient) Remove(inst string) error {
+	_, err := c.call(ctlRequest{Op: "remove", Inst: inst})
+	return err
+}
+
+// Trace fetches the remote primitive audit trail.
+func (c *ControlClient) Trace() ([]string, error) {
+	resp, err := c.call(ctlRequest{Op: "trace"})
+	return resp.List, err
+}
+
+// Stats fetches remote bus statistics.
+func (c *ControlClient) Stats() (string, error) {
+	resp, err := c.call(ctlRequest{Op: "stats"})
+	return resp.Text, err
+}
+
+// FormatTrace renders a trace for operator display.
+func FormatTrace(trace []string) string {
+	if len(trace) == 0 {
+		return "(no reconfigurations yet)"
+	}
+	return strings.Join(trace, "\n")
+}

@@ -1,0 +1,110 @@
+package reconf
+
+import (
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestControlProtocol(t *testing.T) {
+	app := loadMonitor(t, 0)
+	d := newDriver(t, app)
+	if err := app.Launch("compute"); err != nil {
+		t.Fatal(err)
+	}
+	defer app.Stop()
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := app.ServeControl(l)
+	defer srv.Close()
+	if srv.Addr() == nil {
+		t.Fatal("no address")
+	}
+
+	c, err := DialControl(srv.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	topo, err := c.Topology()
+	if err != nil || !strings.Contains(topo, "instance compute (module compute)") {
+		t.Errorf("topology = %q, %v", topo, err)
+	}
+	insts, err := c.Instances()
+	if err != nil || len(insts) != 3 {
+		t.Errorf("instances = %v, %v", insts, err)
+	}
+
+	// Remote move while the module is mid-recursion.
+	d.request(2)
+	time.Sleep(50 * time.Millisecond)
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		d.temperature(10)
+	}()
+	if err := c.Move("compute", "compute2", "machineB"); err != nil {
+		t.Fatalf("remote move: %v", err)
+	}
+	d.temperature(30)
+	if got := d.response(); got != 20 {
+		t.Errorf("moved computation = %g", got)
+	}
+
+	trace, err := c.Trace()
+	if err != nil || len(trace) == 0 {
+		t.Errorf("trace = %v, %v", trace, err)
+	}
+	if FormatTrace(trace) == "(no reconfigurations yet)" {
+		t.Error("trace formatting")
+	}
+	if FormatTrace(nil) != "(no reconfigurations yet)" {
+		t.Error("empty trace formatting")
+	}
+	stats, err := c.Stats()
+	if err != nil || !strings.Contains(stats, "delivered=") {
+		t.Errorf("stats = %q, %v", stats, err)
+	}
+
+	// Error paths.
+	if err := c.Move("ghost", "g2", "m"); err == nil {
+		t.Error("remote move of ghost accepted")
+	}
+	if err := c.Remove("ghost"); err == nil {
+		t.Error("remote remove of ghost accepted")
+	}
+	if err := c.Replicate("compute2", "computeB", "machineC"); err != nil {
+		t.Errorf("remote replicate: %v", err)
+	}
+	if err := c.Remove("computeB"); err != nil {
+		t.Errorf("remote remove: %v", err)
+	}
+	if _, err := c.call(ctlRequest{Op: "frobnicate"}); err == nil {
+		t.Error("unknown op accepted")
+	}
+}
+
+func TestDialControlFailure(t *testing.T) {
+	if _, err := DialControl("127.0.0.1:1", 100*time.Millisecond); err == nil {
+		t.Error("dial to closed port succeeded")
+	}
+}
+
+func TestControlServerCloseIdempotent(t *testing.T) {
+	app := loadMonitor(t, 0)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := app.ServeControl(l)
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,81 @@
+package reconf
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestExamplesRun executes each example binary end to end and checks its
+// headline output, so the documented entry points cannot rot.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the Go toolchain; skipped in -short")
+	}
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go toolchain not available")
+	}
+	cases := []struct {
+		dir   string
+		wants []string
+	}{
+		{"./examples/quickstart", []string{
+			"moving compute to machineB",
+			"instance compute2 (module compute) on machineB",
+			"objstate_move compute.encode -> compute2.decode",
+		}},
+		{"./examples/monitor", []string{
+			"reconfiguration graph (Figure 6)",
+			"edge 4: compute -> reconfig (point R",
+			`mh.Restore("compute", "liiF", &mhLoc, &num, &n, rp)`,
+			"instance compute2 (module compute) on machineB",
+		}},
+		{"./examples/hotswap", []string{
+			"updating stats -> statsV2",
+			"instance stats2 (module statsV2)",
+			"v2 serving",
+		}},
+		{"./examples/pipeline", []string{
+			"migrating smoother to machineB under load",
+			"all 40 smoothed values correct and in order across the migration",
+		}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(strings.TrimPrefix(tc.dir, "./examples/"), func(t *testing.T) {
+			t.Parallel()
+			ctxDone := time.After(90 * time.Second)
+			cmd := exec.Command(goBin, "run", tc.dir)
+			cmd.Dir = "."
+			outCh := make(chan struct {
+				out []byte
+				err error
+			}, 1)
+			go func() {
+				out, err := cmd.CombinedOutput()
+				outCh <- struct {
+					out []byte
+					err error
+				}{out, err}
+			}()
+			select {
+			case res := <-outCh:
+				if res.err != nil {
+					t.Fatalf("%s failed: %v\n%s", tc.dir, res.err, res.out)
+				}
+				for _, want := range tc.wants {
+					if !strings.Contains(string(res.out), want) {
+						t.Errorf("%s output missing %q:\n%s", tc.dir, want, res.out)
+					}
+				}
+			case <-ctxDone:
+				if cmd.Process != nil {
+					cmd.Process.Kill()
+				}
+				t.Fatalf("%s timed out", tc.dir)
+			}
+		})
+	}
+}

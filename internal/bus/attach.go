@@ -1,0 +1,211 @@
+package bus
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// SignalKind enumerates control signals the bus can deliver to a module.
+type SignalKind int
+
+// Control signals. SignalReconfig is the analogue of the paper's SIGHUP:
+// the module's runtime sets its mh_reconfig flag and execution proceeds to
+// the next reconfiguration point. SignalStop asks a module to exit at its
+// next convenience.
+const (
+	SignalReconfig SignalKind = iota + 1
+	SignalStop
+)
+
+// String names the signal.
+func (k SignalKind) String() string {
+	switch k {
+	case SignalReconfig:
+		return "reconfig"
+	case SignalStop:
+		return "stop"
+	default:
+		return fmt.Sprintf("signal(%d)", int(k))
+	}
+}
+
+// Signal is one control signal.
+type Signal struct {
+	Kind SignalKind
+}
+
+// Attachment is the runtime handle a module holds on its bus instance — the
+// capability behind every mh_* communication primitive. An attachment is
+// owned by a single module thread; methods may be called concurrently but
+// modules per the paper are single-threaded.
+type Attachment struct {
+	bus  *Bus
+	inst *instance
+}
+
+// Name returns the instance name.
+func (a *Attachment) Name() string { return a.inst.spec.Name }
+
+// Machine returns the hosting machine label.
+func (a *Attachment) Machine() string { return a.inst.spec.Machine }
+
+// Status returns the instance status: StatusAdd for an original module,
+// StatusClone for a restoration (mh_getstatus in Figure 4).
+func (a *Attachment) Status() string { return a.inst.spec.Status }
+
+// Write emits data on the named interface (mh_write).
+func (a *Attachment) Write(ifaceName string, data []byte) error {
+	return a.bus.write(Endpoint{Instance: a.inst.spec.Name, Interface: ifaceName}, data)
+}
+
+// Read blocks until a message arrives on the named interface (mh_read).
+// It fails with ErrStopped if the instance is deleted while blocked.
+func (a *Attachment) Read(ifaceName string) (Message, error) {
+	q, err := a.recvQueue(ifaceName)
+	if err != nil {
+		return Message{}, err
+	}
+	m, err := q.pop()
+	if errors.Is(err, ErrQueueClosed) {
+		return Message{}, ErrStopped
+	}
+	return m, err
+}
+
+// TryRead returns a pending message without blocking. The second result is
+// false when no message is queued.
+func (a *Attachment) TryRead(ifaceName string) (Message, bool, error) {
+	q, err := a.recvQueue(ifaceName)
+	if err != nil {
+		return Message{}, false, err
+	}
+	m, ok, err := q.tryPop()
+	if errors.Is(err, ErrQueueClosed) {
+		return Message{}, false, ErrStopped
+	}
+	return m, ok, err
+}
+
+// Pending returns the number of messages queued on the named interface
+// (mh_query_ifmsgs).
+func (a *Attachment) Pending(ifaceName string) (int, error) {
+	q, err := a.recvQueue(ifaceName)
+	if err != nil {
+		return 0, err
+	}
+	return q.length(), nil
+}
+
+func (a *Attachment) recvQueue(ifaceName string) (*msgQueue, error) {
+	ifc, ok := a.inst.ifaces[ifaceName]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s.%s", ErrNoInterface, a.inst.spec.Name, ifaceName)
+	}
+	if ifc.queue == nil {
+		return nil, fmt.Errorf("%w: read on %s.%s (%s)", ErrDirection, a.inst.spec.Name, ifaceName, ifc.spec.Dir)
+	}
+	return ifc.queue, nil
+}
+
+// Signals returns the control-signal channel. The module runtime drains it
+// opportunistically (TakeSignal) rather than selecting on it, matching the
+// paper's flag-polling model.
+func (a *Attachment) Signals() <-chan Signal { return a.inst.signals }
+
+// TakeSignal returns a pending control signal without blocking.
+func (a *Attachment) TakeSignal() (Signal, bool) {
+	select {
+	case s := <-a.inst.signals:
+		return s, true
+	default:
+		return Signal{}, false
+	}
+}
+
+// Divulge surrenders the module's captured, encoded state to the bus
+// (mh_encode at the end of capture). The instance transitions to
+// PhaseDivulged; the coordinator collects the state with AwaitDivulged.
+func (a *Attachment) Divulge(data []byte) error {
+	a.bus.mu.Lock()
+	a.inst.phase = PhaseDivulged
+	a.bus.mu.Unlock()
+	if err := a.inst.stateBox.put(data); err != nil {
+		return fmt.Errorf("bus: divulge from %s: %w", a.inst.spec.Name, err)
+	}
+	a.bus.emit(Event{Kind: EventDivulge, Instance: a.inst.spec.Name, Detail: fmt.Sprintf("%d bytes", len(data))})
+	return nil
+}
+
+// AwaitState blocks until state is installed into this (clone) instance
+// (mh_decode at the start of restoration), or the timeout expires.
+func (a *Attachment) AwaitState(timeout time.Duration) ([]byte, error) {
+	data, err := a.inst.stateBox.await(timeout, a.inst.done)
+	if err != nil {
+		return nil, fmt.Errorf("bus: await installed state for %s: %w", a.inst.spec.Name, err)
+	}
+	return data, nil
+}
+
+// Done reports whether the instance has been deleted from the bus.
+func (a *Attachment) Done() bool {
+	select {
+	case <-a.inst.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// stateBox is a one-shot mailbox carrying encoded state between the control
+// plane and a module runtime, in either direction (divulge or install).
+type stateBox struct {
+	mu     sync.Mutex
+	ch     chan []byte
+	closed bool
+}
+
+func newStateBox() *stateBox {
+	return &stateBox{ch: make(chan []byte, 1)}
+}
+
+func (sb *stateBox) put(data []byte) error {
+	sb.mu.Lock()
+	defer sb.mu.Unlock()
+	if sb.closed {
+		return ErrStopped
+	}
+	select {
+	case sb.ch <- data:
+		return nil
+	default:
+		return errors.New("state already pending")
+	}
+}
+
+func (sb *stateBox) await(timeout time.Duration, done <-chan struct{}) ([]byte, error) {
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case data := <-sb.ch:
+		return data, nil
+	case <-done:
+		// The instance may be deleted after the state was boxed; prefer
+		// the state if it is there.
+		select {
+		case data := <-sb.ch:
+			return data, nil
+		default:
+			return nil, ErrStopped
+		}
+	case <-timer.C:
+		return nil, ErrTimeout
+	}
+}
+
+func (sb *stateBox) close() {
+	sb.mu.Lock()
+	defer sb.mu.Unlock()
+	sb.closed = true
+}

@@ -1,0 +1,749 @@
+// Package bus implements the software-bus substrate of the reproduction: a
+// faithful, in-memory-plus-TCP analogue of the POLYLITH software toolbus the
+// paper builds on (Section 1.1).
+//
+// A Bus hosts module *instances*. Each instance owns a set of named,
+// directional *interfaces*; *bindings* connect interfaces of different
+// instances; message passing is asynchronous, buffered at the bus in
+// per-interface FIFO queues. The bus also carries the control plane needed
+// for dynamic reconfiguration: reconfiguration signals, state divulge/
+// install boxes, dynamic add/delete of instances and bindings, atomic
+// rebinding batches, and queue transfer (the "cq"/"rmq" commands of
+// Figure 5).
+//
+// The bus never interprets payloads: messages are opaque byte strings
+// produced by a codec.Codec, which is what makes the system heterogeneous in
+// the paper's sense — every datum that crosses the bus is in the abstract
+// format.
+package bus
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Direction describes which way messages flow on an interface, derived from
+// the MIL role (client/server are bidirectional, define is outgoing, use is
+// incoming).
+type Direction int
+
+// Interface directions.
+const (
+	In Direction = iota + 1
+	Out
+	InOut
+)
+
+// String returns "in", "out" or "inout".
+func (d Direction) String() string {
+	switch d {
+	case In:
+		return "in"
+	case Out:
+		return "out"
+	case InOut:
+		return "inout"
+	default:
+		return fmt.Sprintf("direction(%d)", int(d))
+	}
+}
+
+// Receives reports whether the interface can consume messages.
+func (d Direction) Receives() bool { return d == In || d == InOut }
+
+// Sends reports whether the interface can emit messages.
+func (d Direction) Sends() bool { return d == Out || d == InOut }
+
+// Endpoint names one interface of one instance.
+type Endpoint struct {
+	Instance  string
+	Interface string
+}
+
+// String renders "instance.interface".
+func (e Endpoint) String() string { return e.Instance + "." + e.Interface }
+
+// Message is one datum in flight: who sent it and the codec-encoded payload.
+type Message struct {
+	From Endpoint
+	Data []byte
+}
+
+// IfaceSpec declares one interface when registering an instance.
+type IfaceSpec struct {
+	Name string
+	Dir  Direction
+}
+
+// InstanceSpec declares a module instance.
+type InstanceSpec struct {
+	Name       string
+	Module     string // module specification name
+	Machine    string // logical machine hosting the instance
+	Status     string // "add" for an original, "clone" for a restoration
+	Interfaces []IfaceSpec
+	Attrs      map[string]string
+}
+
+// Statuses used by the paper: an original module sees "add"; a module
+// created to receive moved state sees "clone" (mh_getstatus in Figure 4).
+const (
+	StatusAdd   = "add"
+	StatusClone = "clone"
+)
+
+// Lifecycle phases of an instance on the bus.
+type Phase int
+
+// Instance phases. Added instances exist but have no attached runtime;
+// Running instances have an attachment; Divulged instances have surrendered
+// their state; Deleted instances are gone.
+const (
+	PhaseAdded Phase = iota + 1
+	PhaseRunning
+	PhaseDivulged
+	PhaseDeleted
+)
+
+// String names the phase.
+func (p Phase) String() string {
+	switch p {
+	case PhaseAdded:
+		return "added"
+	case PhaseRunning:
+		return "running"
+	case PhaseDivulged:
+		return "divulged"
+	case PhaseDeleted:
+		return "deleted"
+	default:
+		return fmt.Sprintf("phase(%d)", int(p))
+	}
+}
+
+// Errors reported by bus operations.
+var (
+	// ErrNoInstance indicates an operation on an unknown instance.
+	ErrNoInstance = errors.New("bus: no such instance")
+	// ErrDupInstance indicates AddInstance with a name already in use.
+	ErrDupInstance = errors.New("bus: duplicate instance")
+	// ErrNoInterface indicates an endpoint naming an undeclared interface.
+	ErrNoInterface = errors.New("bus: no such interface")
+	// ErrUnbound indicates a write on an interface with no receiving binding.
+	ErrUnbound = errors.New("bus: interface not bound")
+	// ErrDirection indicates a read on a non-receiving or write on a
+	// non-sending interface.
+	ErrDirection = errors.New("bus: interface direction does not permit operation")
+	// ErrAlreadyAttached indicates a second Attach for one instance.
+	ErrAlreadyAttached = errors.New("bus: instance already attached")
+	// ErrNoBinding indicates deleting a binding that does not exist.
+	ErrNoBinding = errors.New("bus: no such binding")
+	// ErrTimeout indicates an await that expired.
+	ErrTimeout = errors.New("bus: timed out")
+	// ErrStopped indicates the instance was deleted while blocked.
+	ErrStopped = errors.New("bus: instance stopped")
+)
+
+// Binding connects two endpoints. Routing is symmetric: a message written on
+// either endpoint is delivered to the other side if (and only if) the other
+// side receives. This matches POLYLITH client/server pairs, where replies
+// flow back along the binding that carried the request.
+type Binding struct {
+	A Endpoint
+	B Endpoint
+}
+
+type iface struct {
+	spec  IfaceSpec
+	queue *msgQueue // incoming messages, nil for pure-Out interfaces
+}
+
+type instance struct {
+	spec     InstanceSpec
+	phase    Phase
+	ifaces   map[string]*iface
+	attached bool
+	signals  chan Signal
+	stateBox *stateBox
+	done     chan struct{} // closed on delete
+}
+
+// Bus is the software bus. All methods are safe for concurrent use.
+type Bus struct {
+	mu        sync.Mutex
+	instances map[string]*instance
+	bindings  []Binding
+	observers []func(Event)
+	stats     Stats
+	clock     func() time.Time
+}
+
+// Stats counts bus activity, for the benchmark harness.
+type Stats struct {
+	Delivered int64
+	Dropped   int64
+	Rebinds   int64
+	Signals   int64
+	Moves     int64 // queue moves
+}
+
+// New creates an empty bus.
+func New() *Bus {
+	return &Bus{
+		instances: map[string]*instance{},
+		clock:     time.Now,
+	}
+}
+
+// Observe registers a callback invoked (synchronously, under no lock order
+// guarantees beyond per-event atomicity) for every bus event. Tests and the
+// reconfiguration trace use this.
+func (b *Bus) Observe(fn func(Event)) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.observers = append(b.observers, fn)
+}
+
+func (b *Bus) emit(e Event) {
+	e.Time = b.clock()
+	for _, fn := range b.observers {
+		fn(e)
+	}
+}
+
+// Stats returns a snapshot of the activity counters.
+func (b *Bus) Stats() Stats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.stats
+}
+
+// AddInstance registers a module instance. The instance exists (its queues
+// accept messages) but has no runtime until Attach.
+func (b *Bus) AddInstance(spec InstanceSpec) error {
+	if spec.Name == "" {
+		return fmt.Errorf("bus: instance with empty name")
+	}
+	if spec.Status == "" {
+		spec.Status = StatusAdd
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, dup := b.instances[spec.Name]; dup {
+		return fmt.Errorf("%w: %s", ErrDupInstance, spec.Name)
+	}
+	in := &instance{
+		spec:     spec,
+		phase:    PhaseAdded,
+		ifaces:   map[string]*iface{},
+		signals:  make(chan Signal, 16),
+		stateBox: newStateBox(),
+		done:     make(chan struct{}),
+	}
+	for _, is := range spec.Interfaces {
+		if is.Name == "" {
+			return fmt.Errorf("bus: instance %s declares unnamed interface", spec.Name)
+		}
+		if _, dup := in.ifaces[is.Name]; dup {
+			return fmt.Errorf("bus: instance %s declares interface %s twice", spec.Name, is.Name)
+		}
+		ifc := &iface{spec: is}
+		if is.Dir.Receives() {
+			ifc.queue = newMsgQueue()
+		}
+		in.ifaces[is.Name] = ifc
+	}
+	b.instances[spec.Name] = in
+	b.emit(Event{Kind: EventAddInstance, Instance: spec.Name, Detail: spec.Machine})
+	return nil
+}
+
+// DeleteInstance removes an instance, closing its queues and waking any
+// blocked reader with ErrStopped. Bindings touching the instance are
+// removed.
+func (b *Bus) DeleteInstance(name string) error {
+	b.mu.Lock()
+	in, ok := b.instances[name]
+	if !ok {
+		b.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrNoInstance, name)
+	}
+	delete(b.instances, name)
+	kept := b.bindings[:0]
+	for _, bd := range b.bindings {
+		if bd.A.Instance != name && bd.B.Instance != name {
+			kept = append(kept, bd)
+		}
+	}
+	b.bindings = kept
+	in.phase = PhaseDeleted
+	close(in.done)
+	for _, ifc := range in.ifaces {
+		if ifc.queue != nil {
+			ifc.queue.close()
+		}
+	}
+	in.stateBox.close()
+	b.mu.Unlock()
+	b.emit(Event{Kind: EventDeleteInstance, Instance: name})
+	return nil
+}
+
+// Attach claims the runtime slot of an instance, transitioning it to
+// PhaseRunning. Exactly one attachment per instance is allowed.
+func (b *Bus) Attach(name string) (*Attachment, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	in, ok := b.instances[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoInstance, name)
+	}
+	if in.attached {
+		return nil, fmt.Errorf("%w: %s", ErrAlreadyAttached, name)
+	}
+	in.attached = true
+	in.phase = PhaseRunning
+	return &Attachment{bus: b, inst: in}, nil
+}
+
+// AddBinding connects two endpoints. Both must exist, and at least one side
+// must send while the other receives.
+func (b *Bus) AddBinding(a, c Endpoint) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.addBindingLocked(a, c)
+}
+
+func (b *Bus) addBindingLocked(a, c Endpoint) error {
+	ia, err := b.lookupLocked(a)
+	if err != nil {
+		return err
+	}
+	ic, err := b.lookupLocked(c)
+	if err != nil {
+		return err
+	}
+	if !(ia.spec.Dir.Sends() && ic.spec.Dir.Receives()) && !(ic.spec.Dir.Sends() && ia.spec.Dir.Receives()) {
+		return fmt.Errorf("%w: %s (%s) <-> %s (%s)", ErrDirection, a, ia.spec.Dir, c, ic.spec.Dir)
+	}
+	for _, bd := range b.bindings {
+		if (bd.A == a && bd.B == c) || (bd.A == c && bd.B == a) {
+			return fmt.Errorf("bus: binding %s <-> %s already exists", a, c)
+		}
+	}
+	b.bindings = append(b.bindings, Binding{A: a, B: c})
+	b.emit(Event{Kind: EventAddBinding, Detail: a.String() + " <-> " + c.String()})
+	return nil
+}
+
+// DeleteBinding removes the binding between two endpoints (in either
+// orientation).
+func (b *Bus) DeleteBinding(a, c Endpoint) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.deleteBindingLocked(a, c)
+}
+
+func (b *Bus) deleteBindingLocked(a, c Endpoint) error {
+	for i, bd := range b.bindings {
+		if (bd.A == a && bd.B == c) || (bd.A == c && bd.B == a) {
+			b.bindings = append(b.bindings[:i], b.bindings[i+1:]...)
+			b.emit(Event{Kind: EventDeleteBinding, Detail: a.String() + " <-> " + c.String()})
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: %s <-> %s", ErrNoBinding, a, c)
+}
+
+// MoveQueue transfers all pending messages queued at from to the queue at
+// to, preserving order — the "cq" command of Figure 5, which carries
+// in-flight messages across a module replacement.
+func (b *Bus) MoveQueue(from, to Endpoint) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.moveQueueLocked(from, to)
+}
+
+func (b *Bus) moveQueueLocked(from, to Endpoint) error {
+	fi, err := b.lookupLocked(from)
+	if err != nil {
+		return err
+	}
+	ti, err := b.lookupLocked(to)
+	if err != nil {
+		return err
+	}
+	if fi.queue == nil || ti.queue == nil {
+		return fmt.Errorf("%w: queue move needs receiving interfaces (%s -> %s)", ErrDirection, from, to)
+	}
+	moved := fi.queue.drain()
+	for _, m := range moved {
+		if err := ti.queue.push(m); err != nil {
+			return fmt.Errorf("bus: move queue %s -> %s: %w", from, to, err)
+		}
+	}
+	b.stats.Moves += int64(len(moved))
+	b.emit(Event{Kind: EventMoveQueue, Detail: fmt.Sprintf("%s -> %s (%d msgs)", from, to, len(moved))})
+	return nil
+}
+
+// DrainQueue discards all pending messages at the endpoint — the "rmq"
+// command. It returns the number discarded.
+func (b *Bus) DrainQueue(e Endpoint) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	ifc, err := b.lookupLocked(e)
+	if err != nil {
+		return 0, err
+	}
+	if ifc.queue == nil {
+		return 0, fmt.Errorf("%w: %s does not receive", ErrDirection, e)
+	}
+	n := len(ifc.queue.drain())
+	b.emit(Event{Kind: EventDrainQueue, Detail: fmt.Sprintf("%s (%d msgs)", e, n)})
+	return n, nil
+}
+
+// BindEdit is one entry of an atomic rebinding batch, mirroring the
+// mh_edit_bind commands of Figure 5. Op is "add", "del", "cq" (move queued
+// messages From→To) or "rmq" (discard queued messages at From).
+type BindEdit struct {
+	Op   string
+	From Endpoint
+	To   Endpoint
+}
+
+// Rebind applies a batch of binding edits atomically: either all edits
+// apply, or none (the bus state is restored on failure). This is the
+// mh_rebind of Figure 5: "the rebinding commands are applied all at once,
+// after the old module has divulged its state".
+func (b *Bus) Rebind(edits []BindEdit) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	// Snapshot bindings for rollback. Queue moves are validated up front
+	// (both queues must exist) so they cannot fail mid-batch.
+	saved := make([]Binding, len(b.bindings))
+	copy(saved, b.bindings)
+	for _, e := range edits {
+		if e.Op != "cq" && e.Op != "rmq" {
+			continue
+		}
+		if _, err := b.lookupLocked(e.From); err != nil {
+			return fmt.Errorf("bus: rebind %s: %w", e.Op, err)
+		}
+		if e.Op == "cq" {
+			if _, err := b.lookupLocked(e.To); err != nil {
+				return fmt.Errorf("bus: rebind cq: %w", err)
+			}
+		}
+	}
+	for i, e := range edits {
+		var err error
+		switch e.Op {
+		case "add":
+			err = b.addBindingLocked(e.From, e.To)
+		case "del":
+			err = b.deleteBindingLocked(e.From, e.To)
+		case "cq":
+			err = b.moveQueueLocked(e.From, e.To)
+		case "rmq":
+			_, err = func() (int, error) {
+				ifc, lerr := b.lookupLocked(e.From)
+				if lerr != nil {
+					return 0, lerr
+				}
+				if ifc.queue == nil {
+					return 0, fmt.Errorf("%w: %s does not receive", ErrDirection, e.From)
+				}
+				return len(ifc.queue.drain()), nil
+			}()
+		default:
+			err = fmt.Errorf("bus: unknown rebind op %q", e.Op)
+		}
+		if err != nil {
+			b.bindings = saved
+			return fmt.Errorf("bus: rebind edit %d (%s %s %s): %w", i, e.Op, e.From, e.To, err)
+		}
+	}
+	b.stats.Rebinds++
+	b.emit(Event{Kind: EventRebind, Detail: fmt.Sprintf("%d edits", len(edits))})
+	return nil
+}
+
+// SignalReconfig delivers a reconfiguration signal to the instance — the
+// analogue of the paper's SIGHUP, which sets mh_reconfig in the module's
+// signal handler. Extra signals beyond the runtime's buffer are dropped,
+// matching UNIX signal coalescing.
+func (b *Bus) SignalReconfig(name string) error {
+	return b.Signal(name, Signal{Kind: SignalReconfig})
+}
+
+// Signal delivers an arbitrary control signal to the instance.
+func (b *Bus) Signal(name string, s Signal) error {
+	b.mu.Lock()
+	in, ok := b.instances[name]
+	if !ok {
+		b.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrNoInstance, name)
+	}
+	b.stats.Signals++
+	b.mu.Unlock()
+	select {
+	case in.signals <- s:
+	default: // coalesce like a UNIX signal
+	}
+	b.emit(Event{Kind: EventSignal, Instance: name, Detail: s.Kind.String()})
+	return nil
+}
+
+// AwaitDivulged blocks until the named instance divulges its state (via its
+// attachment) or the timeout expires.
+func (b *Bus) AwaitDivulged(name string, timeout time.Duration) (st *stateOwner, err error) {
+	b.mu.Lock()
+	in, ok := b.instances[name]
+	b.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoInstance, name)
+	}
+	data, err := in.stateBox.await(timeout, in.done)
+	if err != nil {
+		return nil, fmt.Errorf("bus: await state of %s: %w", name, err)
+	}
+	return &stateOwner{data: data}, nil
+}
+
+// InstallState hands encoded state to the named (clone) instance; its
+// runtime retrieves it with Attachment.AwaitState.
+func (b *Bus) InstallState(name string, data []byte) error {
+	b.mu.Lock()
+	in, ok := b.instances[name]
+	b.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoInstance, name)
+	}
+	if err := in.stateBox.put(data); err != nil {
+		return fmt.Errorf("bus: install state into %s: %w", name, err)
+	}
+	b.emit(Event{Kind: EventInstallState, Instance: name, Detail: fmt.Sprintf("%d bytes", len(data))})
+	return nil
+}
+
+// MoveState performs the paper's mh_objstate_move: signal old to divulge its
+// state, wait for it, and install the encoded state into new. The srcIface
+// and dstIface arguments are kept for fidelity with the primitive's
+// signature ("encode"/"decode" in Figure 5) but route through the state box.
+func (b *Bus) MoveState(old, srcIface, newName, dstIface string, timeout time.Duration) error {
+	if err := b.SignalReconfig(old); err != nil {
+		return err
+	}
+	owner, err := b.AwaitDivulged(old, timeout)
+	if err != nil {
+		return err
+	}
+	_ = srcIface
+	_ = dstIface
+	if err := b.InstallState(newName, owner.data); err != nil {
+		return err
+	}
+	b.emit(Event{Kind: EventMoveState, Instance: old, Detail: "-> " + newName})
+	return nil
+}
+
+// stateOwner wraps divulged encoded state.
+type stateOwner struct{ data []byte }
+
+// Data returns the encoded state bytes.
+func (s *stateOwner) Data() []byte { return s.data }
+
+// ---- introspection (mh_struct_* in Figure 5) ----
+
+// InstanceInfo is the bus's current view of an instance, corresponding to
+// the module specification mh_obj_cap retrieves.
+type InstanceInfo struct {
+	Name       string
+	Module     string
+	Machine    string
+	Status     string
+	Phase      Phase
+	Interfaces []IfaceSpec
+	Attrs      map[string]string
+	Pending    map[string]int // queued message count per receiving interface
+}
+
+// Instances returns the sorted names of all live instances
+// (mh_struct_objnames).
+func (b *Bus) Instances() []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	names := make([]string, 0, len(b.instances))
+	for n := range b.instances {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Info returns the current specification of an instance (mh_obj_cap).
+func (b *Bus) Info(name string) (InstanceInfo, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	in, ok := b.instances[name]
+	if !ok {
+		return InstanceInfo{}, fmt.Errorf("%w: %s", ErrNoInstance, name)
+	}
+	info := InstanceInfo{
+		Name:    in.spec.Name,
+		Module:  in.spec.Module,
+		Machine: in.spec.Machine,
+		Status:  in.spec.Status,
+		Phase:   in.phase,
+		Pending: map[string]int{},
+	}
+	if len(in.spec.Attrs) > 0 {
+		info.Attrs = make(map[string]string, len(in.spec.Attrs))
+		for k, v := range in.spec.Attrs {
+			info.Attrs[k] = v
+		}
+	}
+	names := make([]string, 0, len(in.ifaces))
+	for n := range in.ifaces {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		ifc := in.ifaces[n]
+		info.Interfaces = append(info.Interfaces, ifc.spec)
+		if ifc.queue != nil {
+			info.Pending[n] = ifc.queue.length()
+		}
+	}
+	return info, nil
+}
+
+// Bindings returns a copy of all current bindings, ordered as created.
+func (b *Bus) Bindings() []Binding {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]Binding, len(b.bindings))
+	copy(out, b.bindings)
+	return out
+}
+
+// IfDest returns the endpoints that messages written on e are delivered to
+// (mh_struct_ifdest).
+func (b *Bus) IfDest(e Endpoint) ([]Endpoint, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, err := b.lookupLocked(e); err != nil {
+		return nil, err
+	}
+	var out []Endpoint
+	for _, bd := range b.bindings {
+		if other, ok := b.routeLocked(bd, e); ok {
+			out = append(out, other)
+		}
+	}
+	return out, nil
+}
+
+// IfSources returns the endpoints whose writes are delivered to e
+// (mh_struct_ifsources).
+func (b *Bus) IfSources(e Endpoint) ([]Endpoint, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	ifc, err := b.lookupLocked(e)
+	if err != nil {
+		return nil, err
+	}
+	if !ifc.spec.Dir.Receives() {
+		return nil, nil
+	}
+	var out []Endpoint
+	for _, bd := range b.bindings {
+		var other Endpoint
+		switch e {
+		case bd.A:
+			other = bd.B
+		case bd.B:
+			other = bd.A
+		default:
+			continue
+		}
+		oifc, err := b.lookupLocked(other)
+		if err == nil && oifc.spec.Dir.Sends() {
+			out = append(out, other)
+		}
+	}
+	return out, nil
+}
+
+// routeLocked returns the delivery target when a message is written on from
+// and the binding bd is considered: the opposite endpoint, if it receives.
+func (b *Bus) routeLocked(bd Binding, from Endpoint) (Endpoint, bool) {
+	var other Endpoint
+	switch from {
+	case bd.A:
+		other = bd.B
+	case bd.B:
+		other = bd.A
+	default:
+		return Endpoint{}, false
+	}
+	ifc, err := b.lookupLocked(other)
+	if err != nil || !ifc.spec.Dir.Receives() {
+		return Endpoint{}, false
+	}
+	return other, true
+}
+
+func (b *Bus) lookupLocked(e Endpoint) (*iface, error) {
+	in, ok := b.instances[e.Instance]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoInstance, e.Instance)
+	}
+	ifc, ok := in.ifaces[e.Interface]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoInterface, e)
+	}
+	return ifc, nil
+}
+
+// write routes a message from the given endpoint to every bound receiving
+// endpoint. Called by Attachment.Write.
+func (b *Bus) write(from Endpoint, data []byte) error {
+	b.mu.Lock()
+	src, err := b.lookupLocked(from)
+	if err != nil {
+		b.mu.Unlock()
+		return err
+	}
+	if !src.spec.Dir.Sends() {
+		b.mu.Unlock()
+		return fmt.Errorf("%w: write on %s (%s)", ErrDirection, from, src.spec.Dir)
+	}
+	var targets []*msgQueue
+	for _, bd := range b.bindings {
+		if other, ok := b.routeLocked(bd, from); ok {
+			ifc, _ := b.lookupLocked(other)
+			targets = append(targets, ifc.queue)
+		}
+	}
+	if len(targets) == 0 {
+		b.stats.Dropped++
+		b.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrUnbound, from)
+	}
+	b.stats.Delivered += int64(len(targets))
+	b.mu.Unlock()
+	msg := Message{From: from, Data: data}
+	for _, q := range targets {
+		// A closed queue means the receiver was deleted mid-write;
+		// the message is simply dropped, like a datagram to a dead
+		// process.
+		_ = q.push(msg)
+	}
+	return nil
+}

@@ -1,0 +1,111 @@
+package bus
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// EventKind enumerates observable bus events.
+type EventKind int
+
+// Bus events, in rough lifecycle order.
+const (
+	EventAddInstance EventKind = iota + 1
+	EventDeleteInstance
+	EventAddBinding
+	EventDeleteBinding
+	EventRebind
+	EventMoveQueue
+	EventDrainQueue
+	EventSignal
+	EventDivulge
+	EventInstallState
+	EventMoveState
+)
+
+var eventNames = map[EventKind]string{
+	EventAddInstance:    "add-instance",
+	EventDeleteInstance: "delete-instance",
+	EventAddBinding:     "add-binding",
+	EventDeleteBinding:  "delete-binding",
+	EventRebind:         "rebind",
+	EventMoveQueue:      "move-queue",
+	EventDrainQueue:     "drain-queue",
+	EventSignal:         "signal",
+	EventDivulge:        "divulge",
+	EventInstallState:   "install-state",
+	EventMoveState:      "move-state",
+}
+
+// String names the event kind.
+func (k EventKind) String() string {
+	if s, ok := eventNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("event(%d)", int(k))
+}
+
+// Event is one observable bus action.
+type Event struct {
+	Time     time.Time
+	Kind     EventKind
+	Instance string
+	Detail   string
+}
+
+// String renders "kind instance detail".
+func (e Event) String() string {
+	s := e.Kind.String()
+	if e.Instance != "" {
+		s += " " + e.Instance
+	}
+	if e.Detail != "" {
+		s += " " + e.Detail
+	}
+	return s
+}
+
+// Recorder collects bus events, for golden tests and the reconfiguration
+// audit trail.
+type Recorder struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewRecorder returns an empty recorder; attach it with bus.Observe(r.Record).
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Record appends an event (the Observe callback).
+func (r *Recorder) Record(e Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.events = append(r.events, e)
+}
+
+// Events returns a copy of the recorded events.
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, len(r.events))
+	copy(out, r.events)
+	return out
+}
+
+// Strings returns the recorded events rendered without timestamps.
+func (r *Recorder) Strings() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, len(r.events))
+	for i, e := range r.events {
+		out[i] = e.String()
+	}
+	return out
+}
+
+// Reset discards recorded events.
+func (r *Recorder) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.events = nil
+}

@@ -1,0 +1,35 @@
+package bus
+
+import "time"
+
+// Port is the capability a module runtime holds on its bus instance. Both
+// in-process attachments (Attachment) and TCP attachments (RemotePort)
+// implement it, so the mh runtime is transport-agnostic — a module behaves
+// identically whether it shares the bus's process or runs on another
+// "machine".
+type Port interface {
+	// Name returns the instance name.
+	Name() string
+	// Machine returns the hosting machine label.
+	Machine() string
+	// Status returns StatusAdd or StatusClone (mh_getstatus).
+	Status() string
+	// Write emits data on the named interface (mh_write).
+	Write(iface string, data []byte) error
+	// Read blocks for the next message on the named interface (mh_read).
+	Read(iface string) (Message, error)
+	// TryRead returns a pending message without blocking.
+	TryRead(iface string) (Message, bool, error)
+	// Pending counts queued messages (mh_query_ifmsgs).
+	Pending(iface string) (int, error)
+	// TakeSignal returns a pending control signal without blocking.
+	TakeSignal() (Signal, bool)
+	// Divulge surrenders captured state to the bus (mh_encode).
+	Divulge(data []byte) error
+	// AwaitState blocks until state is installed (mh_decode).
+	AwaitState(timeout time.Duration) ([]byte, error)
+	// Done reports whether the instance has been deleted.
+	Done() bool
+}
+
+var _ Port = (*Attachment)(nil)

@@ -1,0 +1,96 @@
+package bus
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrQueueClosed is returned by queue operations after Close.
+var ErrQueueClosed = errors.New("bus: queue closed")
+
+// msgQueue is an unbounded FIFO of messages with blocking pop, the backing
+// store for one incoming interface. POLYLITH buffers messages at the bus;
+// modules poll with mh_query_ifmsgs and read with mh_read, so the queue
+// exposes both a non-blocking length and a blocking pop.
+type msgQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []Message
+	closed bool
+}
+
+func newMsgQueue() *msgQueue {
+	q := &msgQueue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// push appends a message. Pushing to a closed queue reports ErrQueueClosed.
+func (q *msgQueue) push(m Message) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrQueueClosed
+	}
+	q.items = append(q.items, m)
+	q.cond.Signal()
+	return nil
+}
+
+// pop removes and returns the oldest message, blocking until one is
+// available or the queue closes.
+func (q *msgQueue) pop() (Message, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.items) == 0 {
+		return Message{}, ErrQueueClosed
+	}
+	m := q.items[0]
+	q.items = q.items[1:]
+	return m, nil
+}
+
+// tryPop removes and returns the oldest message without blocking.
+func (q *msgQueue) tryPop() (Message, bool, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.items) == 0 {
+		if q.closed {
+			return Message{}, false, ErrQueueClosed
+		}
+		return Message{}, false, nil
+	}
+	m := q.items[0]
+	q.items = q.items[1:]
+	return m, true, nil
+}
+
+// length returns the number of queued messages.
+func (q *msgQueue) length() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}
+
+// drain removes and returns all queued messages (the "cq" primitive moves
+// them to another queue).
+func (q *msgQueue) drain() []Message {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	items := q.items
+	q.items = nil
+	return items
+}
+
+// close wakes all blocked readers; subsequent pushes fail.
+func (q *msgQueue) close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if !q.closed {
+		q.closed = true
+		q.cond.Broadcast()
+	}
+}

@@ -1,0 +1,482 @@
+package bus
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// This file implements the wire protocol that lets a module attach to the
+// bus from another OS process — the reproduction's stand-in for POLYLITH's
+// heterogeneous hosts. The protocol is a small full-duplex RPC over one TCP
+// connection, gob-framed:
+//
+//	client -> server: clientFrame (hello first, then requests)
+//	server -> client: serverFrame (hello ack, responses, pushed signals,
+//	                   deletion notice)
+//
+// Blocking operations (Read, AwaitState) are served in per-request
+// goroutines so one blocked read never stalls the connection.
+
+type clientFrame struct {
+	ID        uint64
+	Op        string // "hello","write","read","tryread","pending","divulge","awaitstate"
+	Instance  string // hello only
+	Iface     string
+	Data      []byte
+	TimeoutMs int64
+}
+
+type helloAck struct {
+	Name    string
+	Machine string
+	Status  string
+}
+
+type serverFrame struct {
+	ID      uint64
+	Hello   *helloAck
+	Err     string
+	ErrKind string // sentinel key, see errKind/errFromKind
+	Msg     *Message
+	OK      bool
+	N       int
+	Data    []byte
+	Signal  *Signal
+	Deleted bool
+}
+
+// errKind maps bus sentinels to stable wire keys so errors.Is keeps working
+// across the connection.
+func errKind(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, ErrStopped):
+		return "stopped"
+	case errors.Is(err, ErrTimeout):
+		return "timeout"
+	case errors.Is(err, ErrUnbound):
+		return "unbound"
+	case errors.Is(err, ErrDirection):
+		return "direction"
+	case errors.Is(err, ErrNoInterface):
+		return "nointerface"
+	case errors.Is(err, ErrNoInstance):
+		return "noinstance"
+	default:
+		return "other"
+	}
+}
+
+func errFromKind(kind, msg string) error {
+	var sentinel error
+	switch kind {
+	case "":
+		return nil
+	case "stopped":
+		sentinel = ErrStopped
+	case "timeout":
+		sentinel = ErrTimeout
+	case "unbound":
+		sentinel = ErrUnbound
+	case "direction":
+		sentinel = ErrDirection
+	case "nointerface":
+		sentinel = ErrNoInterface
+	case "noinstance":
+		sentinel = ErrNoInstance
+	default:
+		return errors.New(msg)
+	}
+	return fmt.Errorf("%w (remote: %s)", sentinel, msg)
+}
+
+// Server accepts TCP attachments for a bus.
+type Server struct {
+	bus *Bus
+	l   net.Listener
+
+	mu        sync.Mutex
+	conns     map[net.Conn]struct{}
+	done      chan struct{}
+	closeOnce sync.Once
+}
+
+// NewServer starts serving attachments on l. Close the server to stop.
+func NewServer(b *Bus, l net.Listener) *Server {
+	s := &Server{bus: b, l: l, conns: map[net.Conn]struct{}{}, done: make(chan struct{})}
+	go s.acceptLoop()
+	return s
+}
+
+// Addr returns the listener address.
+func (s *Server) Addr() net.Addr { return s.l.Addr() }
+
+// Close stops accepting and closes all connections. It is idempotent.
+func (s *Server) Close() error {
+	var err error
+	s.closeOnce.Do(func() {
+		close(s.done)
+		err = s.l.Close()
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+	})
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	for {
+		conn, err := s.l.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	var encMu sync.Mutex
+	send := func(f serverFrame) error {
+		encMu.Lock()
+		defer encMu.Unlock()
+		return enc.Encode(f)
+	}
+
+	// Handshake.
+	var hello clientFrame
+	if err := dec.Decode(&hello); err != nil {
+		return
+	}
+	if hello.Op != "hello" {
+		_ = send(serverFrame{ID: hello.ID, Err: "expected hello", ErrKind: "other"})
+		return
+	}
+	att, err := s.bus.Attach(hello.Instance)
+	if err != nil {
+		_ = send(serverFrame{ID: hello.ID, Err: err.Error(), ErrKind: errKind(err)})
+		return
+	}
+	if err := send(serverFrame{ID: hello.ID, Hello: &helloAck{
+		Name: att.Name(), Machine: att.Machine(), Status: att.Status(),
+	}}); err != nil {
+		return
+	}
+
+	// Push signals and the deletion notice.
+	stopPush := make(chan struct{})
+	defer close(stopPush)
+	go func() {
+		for {
+			select {
+			case sig, ok := <-att.Signals():
+				if !ok {
+					return
+				}
+				if err := send(serverFrame{Signal: &sig}); err != nil {
+					return
+				}
+			case <-att.inst.done:
+				_ = send(serverFrame{Deleted: true})
+				return
+			case <-stopPush:
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for {
+		var req clientFrame
+		if err := dec.Decode(&req); err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				// Connection torn down; nothing to report to.
+				_ = err
+			}
+			return
+		}
+		wg.Add(1)
+		go func(req clientFrame) {
+			defer wg.Done()
+			_ = send(s.handle(att, req))
+		}(req)
+	}
+}
+
+func (s *Server) handle(att *Attachment, req clientFrame) serverFrame {
+	resp := serverFrame{ID: req.ID}
+	fail := func(err error) serverFrame {
+		resp.Err = err.Error()
+		resp.ErrKind = errKind(err)
+		return resp
+	}
+	switch req.Op {
+	case "write":
+		if err := att.Write(req.Iface, req.Data); err != nil {
+			return fail(err)
+		}
+	case "read":
+		m, err := att.Read(req.Iface)
+		if err != nil {
+			return fail(err)
+		}
+		resp.Msg = &m
+		resp.OK = true
+	case "tryread":
+		m, ok, err := att.TryRead(req.Iface)
+		if err != nil {
+			return fail(err)
+		}
+		resp.OK = ok
+		if ok {
+			resp.Msg = &m
+		}
+	case "pending":
+		n, err := att.Pending(req.Iface)
+		if err != nil {
+			return fail(err)
+		}
+		resp.N = n
+	case "divulge":
+		if err := att.Divulge(req.Data); err != nil {
+			return fail(err)
+		}
+	case "awaitstate":
+		data, err := att.AwaitState(time.Duration(req.TimeoutMs) * time.Millisecond)
+		if err != nil {
+			return fail(err)
+		}
+		resp.Data = data
+	default:
+		return fail(fmt.Errorf("bus: unknown rpc op %q", req.Op))
+	}
+	return resp
+}
+
+// RemotePort is a Port backed by a TCP connection to a bus Server.
+type RemotePort struct {
+	conn  net.Conn
+	enc   *gob.Encoder
+	hello helloAck
+
+	encMu   sync.Mutex
+	mu      sync.Mutex
+	nextID  uint64
+	waiting map[uint64]chan serverFrame
+	signals chan Signal
+	deleted bool
+	closed  bool
+	readErr error
+}
+
+var _ Port = (*RemotePort)(nil)
+
+// DialPort attaches to the instance name on the bus server at addr.
+func DialPort(addr, instance string) (*RemotePort, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("bus: dial %s: %w", addr, err)
+	}
+	p := &RemotePort{
+		conn:    conn,
+		enc:     gob.NewEncoder(conn),
+		waiting: map[uint64]chan serverFrame{},
+		signals: make(chan Signal, 16),
+	}
+	dec := gob.NewDecoder(conn)
+	// Handshake synchronously before starting the demux loop.
+	if err := p.enc.Encode(clientFrame{ID: 0, Op: "hello", Instance: instance}); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("bus: hello: %w", err)
+	}
+	var ack serverFrame
+	if err := dec.Decode(&ack); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("bus: hello ack: %w", err)
+	}
+	if ack.Err != "" {
+		conn.Close()
+		return nil, fmt.Errorf("bus: attach %s: %w", instance, errFromKind(ack.ErrKind, ack.Err))
+	}
+	if ack.Hello == nil {
+		conn.Close()
+		return nil, errors.New("bus: malformed hello ack")
+	}
+	p.hello = *ack.Hello
+	go p.demux(dec)
+	return p, nil
+}
+
+func (p *RemotePort) demux(dec *gob.Decoder) {
+	for {
+		var f serverFrame
+		if err := dec.Decode(&f); err != nil {
+			p.mu.Lock()
+			p.closed = true
+			p.readErr = err
+			for _, ch := range p.waiting {
+				close(ch)
+			}
+			p.waiting = map[uint64]chan serverFrame{}
+			p.mu.Unlock()
+			return
+		}
+		switch {
+		case f.Signal != nil:
+			select {
+			case p.signals <- *f.Signal:
+			default: // coalesce
+			}
+		case f.Deleted:
+			p.mu.Lock()
+			p.deleted = true
+			p.mu.Unlock()
+		default:
+			p.mu.Lock()
+			ch, ok := p.waiting[f.ID]
+			if ok {
+				delete(p.waiting, f.ID)
+			}
+			p.mu.Unlock()
+			if ok {
+				ch <- f
+			}
+		}
+	}
+}
+
+// Close tears down the connection. Blocked calls fail with ErrStopped.
+func (p *RemotePort) Close() error { return p.conn.Close() }
+
+func (p *RemotePort) call(req clientFrame) (serverFrame, error) {
+	ch := make(chan serverFrame, 1)
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return serverFrame{}, fmt.Errorf("%w: connection closed", ErrStopped)
+	}
+	p.nextID++
+	req.ID = p.nextID
+	p.waiting[req.ID] = ch
+	p.mu.Unlock()
+
+	p.encMu.Lock()
+	err := p.enc.Encode(req)
+	p.encMu.Unlock()
+	if err != nil {
+		p.mu.Lock()
+		delete(p.waiting, req.ID)
+		p.mu.Unlock()
+		return serverFrame{}, fmt.Errorf("%w: send: %v", ErrStopped, err)
+	}
+	f, ok := <-ch
+	if !ok {
+		return serverFrame{}, fmt.Errorf("%w: connection closed", ErrStopped)
+	}
+	if f.Err != "" {
+		return serverFrame{}, errFromKind(f.ErrKind, f.Err)
+	}
+	return f, nil
+}
+
+// Name implements Port.
+func (p *RemotePort) Name() string { return p.hello.Name }
+
+// Machine implements Port.
+func (p *RemotePort) Machine() string { return p.hello.Machine }
+
+// Status implements Port.
+func (p *RemotePort) Status() string { return p.hello.Status }
+
+// Write implements Port.
+func (p *RemotePort) Write(iface string, data []byte) error {
+	_, err := p.call(clientFrame{Op: "write", Iface: iface, Data: data})
+	return err
+}
+
+// Read implements Port.
+func (p *RemotePort) Read(iface string) (Message, error) {
+	f, err := p.call(clientFrame{Op: "read", Iface: iface})
+	if err != nil {
+		return Message{}, err
+	}
+	if f.Msg == nil {
+		return Message{}, errors.New("bus: malformed read response")
+	}
+	return *f.Msg, nil
+}
+
+// TryRead implements Port.
+func (p *RemotePort) TryRead(iface string) (Message, bool, error) {
+	f, err := p.call(clientFrame{Op: "tryread", Iface: iface})
+	if err != nil {
+		return Message{}, false, err
+	}
+	if !f.OK {
+		return Message{}, false, nil
+	}
+	if f.Msg == nil {
+		return Message{}, false, errors.New("bus: malformed tryread response")
+	}
+	return *f.Msg, true, nil
+}
+
+// Pending implements Port.
+func (p *RemotePort) Pending(iface string) (int, error) {
+	f, err := p.call(clientFrame{Op: "pending", Iface: iface})
+	if err != nil {
+		return 0, err
+	}
+	return f.N, nil
+}
+
+// TakeSignal implements Port.
+func (p *RemotePort) TakeSignal() (Signal, bool) {
+	select {
+	case s := <-p.signals:
+		return s, true
+	default:
+		return Signal{}, false
+	}
+}
+
+// Divulge implements Port.
+func (p *RemotePort) Divulge(data []byte) error {
+	_, err := p.call(clientFrame{Op: "divulge", Data: data})
+	return err
+}
+
+// AwaitState implements Port.
+func (p *RemotePort) AwaitState(timeout time.Duration) ([]byte, error) {
+	f, err := p.call(clientFrame{Op: "awaitstate", TimeoutMs: int64(timeout / time.Millisecond)})
+	if err != nil {
+		return nil, err
+	}
+	return f.Data, nil
+}
+
+// Done implements Port.
+func (p *RemotePort) Done() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.deleted || p.closed
+}

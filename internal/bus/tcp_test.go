@@ -1,0 +1,287 @@
+package bus
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+func startServer(t *testing.T) (*Bus, *Server) {
+	t.Helper()
+	b := testBusForTCP(t)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewServer(b, l)
+	t.Cleanup(func() { s.Close() })
+	return b, s
+}
+
+func testBusForTCP(t *testing.T) *Bus {
+	t.Helper()
+	b := New()
+	specs := []InstanceSpec{
+		{Name: "display", Module: "display", Machine: "m1",
+			Interfaces: []IfaceSpec{{Name: "temper", Dir: InOut}}},
+		{Name: "compute", Module: "compute", Machine: "m2", Status: StatusClone,
+			Interfaces: []IfaceSpec{{Name: "display", Dir: InOut}, {Name: "sensor", Dir: In}}},
+	}
+	for _, s := range specs {
+		if err := b.AddInstance(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.AddBinding(Endpoint{"display", "temper"}, Endpoint{"compute", "display"}); err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func dial(t *testing.T, s *Server, instance string) *RemotePort {
+	t.Helper()
+	p, err := DialPort(s.Addr().String(), instance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	return p
+}
+
+func TestRemoteHandshake(t *testing.T) {
+	_, s := startServer(t)
+	p := dial(t, s, "compute")
+	if p.Name() != "compute" || p.Machine() != "m2" || p.Status() != StatusClone {
+		t.Errorf("identity = %s %s %s", p.Name(), p.Machine(), p.Status())
+	}
+}
+
+func TestRemoteAttachUnknownInstance(t *testing.T) {
+	_, s := startServer(t)
+	if _, err := DialPort(s.Addr().String(), "ghost"); !errors.Is(err, ErrNoInstance) {
+		t.Errorf("dial ghost: %v", err)
+	}
+}
+
+func TestRemoteDoubleAttach(t *testing.T) {
+	_, s := startServer(t)
+	dial(t, s, "compute")
+	if _, err := DialPort(s.Addr().String(), "compute"); err == nil {
+		t.Error("second attach accepted")
+	}
+}
+
+func TestRemoteReadWrite(t *testing.T) {
+	_, s := startServer(t)
+	disp := dial(t, s, "display")
+	comp := dial(t, s, "compute")
+
+	if err := disp.Write("temper", []byte("req")); err != nil {
+		t.Fatal(err)
+	}
+	n, err := comp.Pending("display")
+	if err != nil || n != 1 {
+		t.Fatalf("Pending = %d, %v", n, err)
+	}
+	m, err := comp.Read("display")
+	if err != nil || string(m.Data) != "req" {
+		t.Fatalf("Read = %+v, %v", m, err)
+	}
+	if m.From != (Endpoint{"display", "temper"}) {
+		t.Errorf("From = %v", m.From)
+	}
+	if err := comp.Write("display", []byte("resp")); err != nil {
+		t.Fatal(err)
+	}
+	m, ok, err := disp.TryRead("temper")
+	if err != nil || !ok || string(m.Data) != "resp" {
+		t.Fatalf("TryRead = %+v %t %v", m, ok, err)
+	}
+	if _, ok, err := disp.TryRead("temper"); err != nil || ok {
+		t.Errorf("empty TryRead = %t, %v", ok, err)
+	}
+}
+
+func TestRemoteBlockingRead(t *testing.T) {
+	_, s := startServer(t)
+	disp := dial(t, s, "display")
+	comp := dial(t, s, "compute")
+
+	got := make(chan Message, 1)
+	go func() {
+		m, err := comp.Read("display")
+		if err != nil {
+			t.Errorf("read: %v", err)
+		}
+		got <- m
+	}()
+	time.Sleep(20 * time.Millisecond)
+	// The connection must stay responsive while a read blocks.
+	if n, err := comp.Pending("sensor"); err != nil || n != 0 {
+		t.Fatalf("Pending during blocked read = %d, %v", n, err)
+	}
+	if err := disp.Write("temper", []byte("late")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-got:
+		if string(m.Data) != "late" {
+			t.Errorf("blocked read got %q", m.Data)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("blocked read never completed")
+	}
+}
+
+func TestRemoteErrorMapping(t *testing.T) {
+	_, s := startServer(t)
+	comp := dial(t, s, "compute")
+	if err := comp.Write("sensor", nil); !errors.Is(err, ErrDirection) {
+		t.Errorf("direction error: %v", err)
+	}
+	if err := comp.Write("ghost", nil); !errors.Is(err, ErrNoInterface) {
+		t.Errorf("nointerface error: %v", err)
+	}
+	if err := comp.Write("display", nil); err != nil {
+		// display.temper receives; this should succeed.
+		t.Errorf("bound write: %v", err)
+	}
+	if _, err := comp.AwaitState(30 * time.Millisecond); !errors.Is(err, ErrTimeout) {
+		t.Errorf("timeout error: %v", err)
+	}
+}
+
+func TestRemoteSignalPush(t *testing.T) {
+	b, s := startServer(t)
+	comp := dial(t, s, "compute")
+	if _, ok := comp.TakeSignal(); ok {
+		t.Fatal("spurious signal")
+	}
+	if err := b.SignalReconfig("compute"); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if sig, ok := comp.TakeSignal(); ok {
+			if sig.Kind != SignalReconfig {
+				t.Errorf("signal = %v", sig.Kind)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("signal never arrived")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestRemoteDivulgeAndInstall(t *testing.T) {
+	b, s := startServer(t)
+	comp := dial(t, s, "compute")
+
+	// Divulge travels remote -> bus.
+	if err := comp.Divulge([]byte("stately")); err != nil {
+		t.Fatal(err)
+	}
+	owner, err := b.AwaitDivulged("compute", time.Second)
+	if err != nil || string(owner.Data()) != "stately" {
+		t.Fatalf("AwaitDivulged = %v, %v", owner, err)
+	}
+
+	// Install travels bus -> remote.
+	if err := b.InstallState("compute", []byte("installed")); err != nil {
+		t.Fatal(err)
+	}
+	data, err := comp.AwaitState(time.Second)
+	if err != nil || string(data) != "installed" {
+		t.Fatalf("AwaitState = %q, %v", data, err)
+	}
+}
+
+func TestRemoteDeletionNotice(t *testing.T) {
+	b, s := startServer(t)
+	comp := dial(t, s, "compute")
+	if comp.Done() {
+		t.Fatal("Done before delete")
+	}
+	if err := b.DeleteInstance("compute"); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for !comp.Done() {
+		if time.Now().After(deadline) {
+			t.Fatal("Done never became true")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestRemoteConnectionLoss(t *testing.T) {
+	_, s := startServer(t)
+	comp := dial(t, s, "compute")
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := comp.Read("display")
+		errCh <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	comp.Close()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, ErrStopped) {
+			t.Errorf("read after close: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("blocked read survived connection loss")
+	}
+	if err := comp.Write("display", nil); !errors.Is(err, ErrStopped) {
+		t.Errorf("write after close: %v", err)
+	}
+	if !comp.Done() {
+		t.Error("Done false after close")
+	}
+}
+
+func TestServerClose(t *testing.T) {
+	_, s := startServer(t)
+	comp := dial(t, s, "compute")
+	if err := s.Close(); err != nil {
+		t.Logf("server close: %v", err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for !comp.Done() {
+		if time.Now().After(deadline) {
+			t.Fatal("port not Done after server close")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestDialPortBadAddr(t *testing.T) {
+	if _, err := DialPort("127.0.0.1:1", "x"); err == nil {
+		t.Error("dial to closed port succeeded")
+	}
+}
+
+func TestErrKindRoundTrip(t *testing.T) {
+	for _, sentinel := range []error{ErrStopped, ErrTimeout, ErrUnbound, ErrDirection, ErrNoInterface, ErrNoInstance} {
+		kind := errKind(sentinel)
+		back := errFromKind(kind, sentinel.Error())
+		if !errors.Is(back, sentinel) {
+			t.Errorf("sentinel %v did not survive the wire (kind %q)", sentinel, kind)
+		}
+	}
+	if errFromKind("", "") != nil {
+		t.Error("empty kind should be nil error")
+	}
+	if err := errFromKind("other", "boom"); err == nil || err.Error() != "boom" {
+		t.Errorf("other kind = %v", err)
+	}
+	if errKind(nil) != "" {
+		t.Error("nil error kind")
+	}
+	if errKind(errors.New("x")) != "other" {
+		t.Error("unknown error kind")
+	}
+}

@@ -1,0 +1,120 @@
+// Package checkpoint implements the baseline the paper's Discussion argues
+// against: periodic full-state checkpointing with rollback restore.
+//
+// "Our approach does not use checkpointing, in which the entire state of
+// the process is saved periodically, and execution is rolled back to the
+// most recent checkpoint in order to restore the process. [...] The cost of
+// capturing the process state is paid only when a reconfiguration is
+// performed, instead of at regular intervals during execution."
+//
+// The Checkpointer charges the full capture+encode cost every interval
+// operations; a reconfiguration restores the latest checkpoint and must
+// re-execute (replay) the operations performed since it was taken.
+// Experiment C2 sweeps the interval and compares steady-state overhead and
+// work lost at reconfiguration against the reconfiguration-point approach,
+// whose steady-state cost is one flag test per point execution.
+package checkpoint
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/codec"
+	"repro/internal/state"
+)
+
+// ErrNoCheckpoint indicates a restore before any checkpoint was taken.
+var ErrNoCheckpoint = errors.New("checkpoint: no checkpoint taken")
+
+// Snapshot produces the module's full abstract state on demand.
+type Snapshot func() (*state.State, error)
+
+// Stats counts checkpointing activity.
+type Stats struct {
+	// Ops is the number of operations observed.
+	Ops int64
+	// Checkpoints is the number of snapshots taken.
+	Checkpoints int64
+	// Bytes is the total encoded checkpoint volume.
+	Bytes int64
+	// Replayed is the total operations re-executed after restores.
+	Replayed int64
+	// Restores counts restorations.
+	Restores int64
+}
+
+// Checkpointer snapshots a module's state every Interval operations.
+type Checkpointer struct {
+	interval int
+	codec    codec.Codec
+	snapshot Snapshot
+
+	sinceLast int
+	last      []byte
+	stats     Stats
+}
+
+// New builds a checkpointer. interval is the number of operations between
+// snapshots (≥1); snapshot renders the module state.
+func New(interval int, c codec.Codec, snap Snapshot) (*Checkpointer, error) {
+	if interval < 1 {
+		return nil, fmt.Errorf("checkpoint: interval %d < 1", interval)
+	}
+	if snap == nil {
+		return nil, errors.New("checkpoint: nil snapshot function")
+	}
+	if c == nil {
+		c = codec.Default()
+	}
+	return &Checkpointer{interval: interval, codec: c, snapshot: snap}, nil
+}
+
+// Tick records one completed operation, taking a checkpoint when the
+// interval elapses. This is the steady-state cost the paper's approach
+// avoids.
+func (cp *Checkpointer) Tick() error {
+	cp.stats.Ops++
+	cp.sinceLast++
+	if cp.sinceLast < cp.interval {
+		return nil
+	}
+	cp.sinceLast = 0
+	st, err := cp.snapshot()
+	if err != nil {
+		return fmt.Errorf("checkpoint: snapshot: %w", err)
+	}
+	data, err := cp.codec.EncodeState(st)
+	if err != nil {
+		return fmt.Errorf("checkpoint: encode: %w", err)
+	}
+	cp.last = data
+	cp.stats.Checkpoints++
+	cp.stats.Bytes += int64(len(data))
+	return nil
+}
+
+// PendingOps reports the operations performed since the last checkpoint —
+// the work a restore loses and must replay.
+func (cp *Checkpointer) PendingOps() int { return cp.sinceLast }
+
+// Restore returns the most recent checkpoint and the number of operations
+// that must be replayed on top of it. The caller re-executes them.
+func (cp *Checkpointer) Restore() (*state.State, int, error) {
+	if cp.last == nil {
+		return nil, 0, ErrNoCheckpoint
+	}
+	st, err := cp.codec.DecodeState(cp.last)
+	if err != nil {
+		return nil, 0, fmt.Errorf("checkpoint: decode: %w", err)
+	}
+	replay := cp.sinceLast
+	cp.stats.Restores++
+	cp.stats.Replayed += int64(replay)
+	return st, replay, nil
+}
+
+// Stats returns a copy of the counters.
+func (cp *Checkpointer) Stats() Stats { return cp.stats }
+
+// LatestSize returns the encoded size of the newest checkpoint (0 if none).
+func (cp *Checkpointer) LatestSize() int { return len(cp.last) }

@@ -1,0 +1,63 @@
+package codec
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"repro/internal/state"
+)
+
+// Gob serializes abstract state with encoding/gob. Gob streams are
+// self-describing and machine-independent, so they satisfy the paper's
+// abstract-format requirement; the Portable codec exists because POLYLITH
+// shipped its own coercion layer and because the two make an instructive
+// ablation (experiment A1).
+type Gob struct{}
+
+var _ Codec = Gob{}
+
+// Name implements Codec.
+func (Gob) Name() string { return "gob" }
+
+// EncodeState implements Codec.
+func (Gob) EncodeState(s *state.State) ([]byte, error) {
+	if s == nil {
+		return nil, fmt.Errorf("codec: nil state")
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(s); err != nil {
+		return nil, fmt.Errorf("codec: gob encode state: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeState implements Codec.
+func (Gob) DecodeState(data []byte) (*state.State, error) {
+	var s state.State
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&s); err != nil {
+		return nil, fmt.Errorf("%w: gob decode state: %v", ErrCorrupt, err)
+	}
+	if s.Meta == nil {
+		s.Meta = map[string]string{}
+	}
+	return &s, nil
+}
+
+// EncodeValue implements Codec.
+func (Gob) EncodeValue(v state.Value) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, fmt.Errorf("codec: gob encode value: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeValue implements Codec.
+func (Gob) DecodeValue(data []byte) (state.Value, error) {
+	var v state.Value
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&v); err != nil {
+		return state.Value{}, fmt.Errorf("%w: gob decode value: %v", ErrCorrupt, err)
+	}
+	return v, nil
+}

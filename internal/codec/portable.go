@@ -1,0 +1,450 @@
+package codec
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/state"
+)
+
+// Portable is the hand-written self-describing binary codec. The format:
+//
+//	state   := magic(4) version(uvarint) module(str) machine(str)
+//	           nframes(uvarint) frame* nheap(uvarint) heap* nmeta(uvarint) meta*
+//	frame   := func(str) location(varint) nvars(uvarint) var*
+//	var     := name(str) value
+//	heap    := key(str) value
+//	meta    := key(str) val(str)
+//	value   := kind(1) payload
+//	payload := bool: 1 byte | int: zigzag varint | float: 8-byte BE IEEE bits
+//	           | string: str | list: n(uvarint) value*
+//	           | struct: type(str) n(uvarint) (name(str) value)*
+//	str     := len(uvarint) bytes
+//
+// All multi-byte quantities are either varints or big-endian, so the stream
+// is identical on every architecture — the "abstract format" the paper
+// requires.
+type Portable struct{}
+
+var _ Codec = Portable{}
+
+var portableMagic = [4]byte{'M', 'H', 'S', 'T'}
+
+// Name implements Codec.
+func (Portable) Name() string { return "portable" }
+
+// EncodeState implements Codec.
+func (Portable) EncodeState(s *state.State) ([]byte, error) {
+	if s == nil {
+		return nil, fmt.Errorf("codec: nil state")
+	}
+	var buf bytes.Buffer
+	buf.Write(portableMagic[:])
+	w := newWriter(&buf)
+	w.uvarint(uint64(s.Version))
+	w.str(s.Module)
+	w.str(s.Machine)
+	w.uvarint(uint64(len(s.Frames)))
+	for _, f := range s.Frames {
+		w.str(f.Func)
+		w.varint(int64(f.Location))
+		w.uvarint(uint64(len(f.Vars)))
+		for _, v := range f.Vars {
+			w.str(v.Name)
+			if err := w.value(v.Value, 0); err != nil {
+				return nil, err
+			}
+		}
+	}
+	w.uvarint(uint64(len(s.Heap)))
+	for _, h := range s.Heap {
+		w.str(h.Key)
+		if err := w.value(h.Value, 0); err != nil {
+			return nil, err
+		}
+	}
+	w.uvarint(uint64(len(s.Meta)))
+	for _, k := range sortedKeys(s.Meta) {
+		w.str(k)
+		w.str(s.Meta[k])
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeState implements Codec.
+func (Portable) DecodeState(data []byte) (*state.State, error) {
+	if len(data) < len(portableMagic) || !bytes.Equal(data[:4], portableMagic[:]) {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	r := newReader(data[4:])
+	s := &state.State{Meta: map[string]string{}}
+	ver, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	s.Version = int(ver)
+	if s.Module, err = r.str(); err != nil {
+		return nil, err
+	}
+	if s.Machine, err = r.str(); err != nil {
+		return nil, err
+	}
+	nframes, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if nframes > maxFrames {
+		return nil, fmt.Errorf("%w: %d frames", ErrLimit, nframes)
+	}
+	s.Frames = make([]state.Frame, nframes)
+	for i := range s.Frames {
+		f := &s.Frames[i]
+		if f.Func, err = r.str(); err != nil {
+			return nil, err
+		}
+		loc, err := r.varint()
+		if err != nil {
+			return nil, err
+		}
+		f.Location = int(loc)
+		nvars, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if nvars > maxVars {
+			return nil, fmt.Errorf("%w: %d vars", ErrLimit, nvars)
+		}
+		f.Vars = make([]state.Var, nvars)
+		for j := range f.Vars {
+			if f.Vars[j].Name, err = r.str(); err != nil {
+				return nil, err
+			}
+			if f.Vars[j].Value, err = r.value(0); err != nil {
+				return nil, err
+			}
+		}
+	}
+	nheap, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if nheap > maxVars {
+		return nil, fmt.Errorf("%w: %d heap objects", ErrLimit, nheap)
+	}
+	if nheap > 0 {
+		s.Heap = make([]state.HeapObject, nheap)
+		for i := range s.Heap {
+			if s.Heap[i].Key, err = r.str(); err != nil {
+				return nil, err
+			}
+			if s.Heap[i].Value, err = r.value(0); err != nil {
+				return nil, err
+			}
+		}
+	}
+	nmeta, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if nmeta > maxVars {
+		return nil, fmt.Errorf("%w: %d meta entries", ErrLimit, nmeta)
+	}
+	for i := uint64(0); i < nmeta; i++ {
+		k, err := r.str()
+		if err != nil {
+			return nil, err
+		}
+		v, err := r.str()
+		if err != nil {
+			return nil, err
+		}
+		s.Meta[k] = v
+	}
+	if r.rem() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, r.rem())
+	}
+	return s, nil
+}
+
+// EncodeValue implements Codec.
+func (Portable) EncodeValue(v state.Value) ([]byte, error) {
+	var buf bytes.Buffer
+	w := newWriter(&buf)
+	if err := w.value(v, 0); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeValue implements Codec.
+func (Portable) DecodeValue(data []byte) (state.Value, error) {
+	r := newReader(data)
+	v, err := r.value(0)
+	if err != nil {
+		return state.Value{}, err
+	}
+	if r.rem() != 0 {
+		return state.Value{}, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, r.rem())
+	}
+	return v, nil
+}
+
+// ---- low-level writer ----
+
+type writer struct {
+	w   *bytes.Buffer
+	tmp [binary.MaxVarintLen64]byte
+}
+
+func newWriter(buf *bytes.Buffer) *writer { return &writer{w: buf} }
+
+func (w *writer) uvarint(u uint64) {
+	n := binary.PutUvarint(w.tmp[:], u)
+	w.w.Write(w.tmp[:n])
+}
+
+func (w *writer) varint(i int64) {
+	n := binary.PutVarint(w.tmp[:], i)
+	w.w.Write(w.tmp[:n])
+}
+
+func (w *writer) str(s string) {
+	w.uvarint(uint64(len(s)))
+	w.w.WriteString(s)
+}
+
+func (w *writer) value(v state.Value, depth int) error {
+	if depth > maxDepth {
+		return fmt.Errorf("codec: value nested deeper than %d", maxDepth)
+	}
+	w.w.WriteByte(byte(v.Kind))
+	switch v.Kind {
+	case state.KindBool:
+		if v.Bool {
+			w.w.WriteByte(1)
+		} else {
+			w.w.WriteByte(0)
+		}
+	case state.KindInt:
+		w.varint(v.Int)
+	case state.KindFloat:
+		var b [8]byte
+		binary.BigEndian.PutUint64(b[:], math.Float64bits(v.Float))
+		w.w.Write(b[:])
+	case state.KindString:
+		w.str(v.Str)
+	case state.KindList:
+		w.uvarint(uint64(len(v.List)))
+		for _, e := range v.List {
+			if err := w.value(e, depth+1); err != nil {
+				return err
+			}
+		}
+	case state.KindStruct:
+		w.str(v.Type)
+		w.uvarint(uint64(len(v.Fields)))
+		for _, f := range v.Fields {
+			w.str(f.Name)
+			if err := w.value(f.Value, depth+1); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("codec: cannot encode value of kind %v", v.Kind)
+	}
+	return nil
+}
+
+// ---- low-level reader ----
+
+type reader struct {
+	data []byte
+	off  int
+}
+
+func newReader(data []byte) *reader { return &reader{data: data} }
+
+func (r *reader) rem() int { return len(r.data) - r.off }
+
+func (r *reader) byte() (byte, error) {
+	if r.off >= len(r.data) {
+		return 0, ErrTruncated
+	}
+	b := r.data[r.off]
+	r.off++
+	return b, nil
+}
+
+func (r *reader) take(n int) ([]byte, error) {
+	if n < 0 || r.rem() < n {
+		return nil, ErrTruncated
+	}
+	b := r.data[r.off : r.off+n]
+	r.off += n
+	return b, nil
+}
+
+func (r *reader) uvarint() (uint64, error) {
+	u, n := binary.Uvarint(r.data[r.off:])
+	if n <= 0 {
+		if n == 0 {
+			return 0, ErrTruncated
+		}
+		return 0, fmt.Errorf("%w: uvarint overflow", ErrCorrupt)
+	}
+	r.off += n
+	return u, nil
+}
+
+func (r *reader) varint() (int64, error) {
+	i, n := binary.Varint(r.data[r.off:])
+	if n <= 0 {
+		if n == 0 {
+			return 0, ErrTruncated
+		}
+		return 0, fmt.Errorf("%w: varint overflow", ErrCorrupt)
+	}
+	r.off += n
+	return i, nil
+}
+
+func (r *reader) str() (string, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > maxStringLen {
+		return "", fmt.Errorf("%w: string of %d bytes", ErrLimit, n)
+	}
+	b, err := r.take(int(n))
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+func (r *reader) value(depth int) (state.Value, error) {
+	if depth > maxDepth {
+		return state.Value{}, fmt.Errorf("%w: value nested deeper than %d", ErrLimit, maxDepth)
+	}
+	kb, err := r.byte()
+	if err != nil {
+		return state.Value{}, err
+	}
+	v := state.Value{Kind: state.Kind(kb)}
+	switch v.Kind {
+	case state.KindBool:
+		b, err := r.byte()
+		if err != nil {
+			return state.Value{}, err
+		}
+		if b > 1 {
+			return state.Value{}, fmt.Errorf("%w: bool byte %d", ErrCorrupt, b)
+		}
+		v.Bool = b == 1
+	case state.KindInt:
+		if v.Int, err = r.varint(); err != nil {
+			return state.Value{}, err
+		}
+	case state.KindFloat:
+		b, err := r.take(8)
+		if err != nil {
+			return state.Value{}, err
+		}
+		v.Float = math.Float64frombits(binary.BigEndian.Uint64(b))
+	case state.KindString:
+		if v.Str, err = r.str(); err != nil {
+			return state.Value{}, err
+		}
+	case state.KindList:
+		n, err := r.uvarint()
+		if err != nil {
+			return state.Value{}, err
+		}
+		if n > maxListLen {
+			return state.Value{}, fmt.Errorf("%w: list of %d", ErrLimit, n)
+		}
+		if n > 0 {
+			v.List = make([]state.Value, n)
+			for i := range v.List {
+				if v.List[i], err = r.value(depth + 1); err != nil {
+					return state.Value{}, err
+				}
+			}
+		}
+	case state.KindStruct:
+		if v.Type, err = r.str(); err != nil {
+			return state.Value{}, err
+		}
+		n, err := r.uvarint()
+		if err != nil {
+			return state.Value{}, err
+		}
+		if n > maxVars {
+			return state.Value{}, fmt.Errorf("%w: struct of %d fields", ErrLimit, n)
+		}
+		if n > 0 {
+			v.Fields = make([]state.Field, n)
+			for i := range v.Fields {
+				if v.Fields[i].Name, err = r.str(); err != nil {
+					return state.Value{}, err
+				}
+				if v.Fields[i].Value, err = r.value(depth + 1); err != nil {
+					return state.Value{}, err
+				}
+			}
+		}
+	default:
+		return state.Value{}, fmt.Errorf("%w: unknown kind byte %d", ErrCorrupt, kb)
+	}
+	return v, nil
+}
+
+func sortedKeys(m map[string]string) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	// insertion sort: metadata maps are tiny and this avoids an import.
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}
+
+// WriteTo streams an encoded state to w with a length prefix, for TCP
+// transports that need framing.
+func WriteTo(w io.Writer, c Codec, s *state.State) error {
+	data, err := c.EncodeState(s)
+	if err != nil {
+		return err
+	}
+	var hdr [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(hdr[:], uint64(len(data)))
+	if _, err := w.Write(hdr[:n]); err != nil {
+		return err
+	}
+	_, err = w.Write(data)
+	return err
+}
+
+// ReadFrom reads one length-prefixed encoded state from r.
+func ReadFrom(r io.ByteReader, c Codec, readFull func([]byte) error) (*state.State, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	if n > maxStringLen*4 {
+		return nil, fmt.Errorf("%w: framed state of %d bytes", ErrLimit, n)
+	}
+	buf := make([]byte, n)
+	if err := readFull(buf); err != nil {
+		return nil, err
+	}
+	return c.DecodeState(buf)
+}

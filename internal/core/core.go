@@ -1,0 +1,38 @@
+// Package core names the paper's primary contribution — the automatic
+// source transformation that prepares a module for reconfiguration
+// participation — and re-exports its API from internal/transform, where the
+// implementation lives alongside its supporting passes (internal/callgraph,
+// internal/flatten, internal/liveness).
+package core
+
+import "repro/internal/transform"
+
+// Re-exported types of the transformation API.
+type (
+	// Options configures Prepare (capture mode, specification variable
+	// lists).
+	Options = transform.Options
+	// Output is the instrumented program plus its reconfiguration graph
+	// and per-procedure reports.
+	Output = transform.Output
+	// CaptureMode selects how capture sets are derived.
+	CaptureMode = transform.CaptureMode
+	// CapturedVar is one variable of a procedure's capture set.
+	CapturedVar = transform.CapturedVar
+	// FuncReport describes the instrumentation of one procedure.
+	FuncReport = transform.FuncReport
+)
+
+// Capture modes.
+const (
+	CaptureAll  = transform.CaptureAll
+	CaptureLive = transform.CaptureLive
+	CaptureSpec = transform.CaptureSpec
+)
+
+// Prepare transforms a module program for reconfiguration participation
+// (Section 3 of the paper).
+var Prepare = transform.Prepare
+
+// PrepareSource is Prepare for a single-file module.
+var PrepareSource = transform.PrepareSource

@@ -1,0 +1,32 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/fixtures"
+)
+
+// TestAliasesResolve pins the re-exported API to the implementation: the
+// paper's contribution is reachable as internal/core.Prepare.
+func TestAliasesResolve(t *testing.T) {
+	out, err := PrepareSource("compute.go", fixtures.ComputeSource, Options{Mode: CaptureLive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var o *Output = out
+	if len(o.Funcs) != 2 {
+		t.Errorf("Funcs = %d", len(o.Funcs))
+	}
+	var mode CaptureMode = CaptureAll
+	if mode.String() != "all" || CaptureSpec.String() != "spec" {
+		t.Error("mode aliases wrong")
+	}
+	var cv CapturedVar = o.Funcs["compute"].Captured[0]
+	if cv.Name == "" {
+		t.Error("empty captured var")
+	}
+	var fr *FuncReport = o.Funcs["main"]
+	if fr.Format == "" {
+		t.Error("empty format")
+	}
+}

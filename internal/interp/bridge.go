@@ -1,0 +1,248 @@
+package interp
+
+import (
+	"go/ast"
+
+	"repro/internal/codec"
+	"repro/internal/lang"
+	"repro/internal/state"
+)
+
+// evalMHCall bridges mh.<primitive>(...) calls to the participation
+// runtime. The checker guarantees shapes; the bridge converts between
+// runtime values and abstract values.
+func (in *Interp) evalMHCall(env *env, call *ast.CallExpr, name string) any {
+	if in.rt == nil {
+		in.failf(call.Pos(), "mh.%s called but no runtime is attached", name)
+	}
+	rt := in.rt
+	before := rt.Err()
+	result := in.dispatchMH(env, call, name)
+	// A recorded runtime error means the module misbehaved; surface it
+	// immediately rather than computing on garbage. Fatal errors already
+	// unwound as a Termination panic and never reach this check.
+	if err := rt.Err(); err != nil && err != before {
+		in.failf(call.Pos(), "mh.%s: %v", name, err)
+	}
+	return result
+}
+
+func (in *Interp) dispatchMH(env *env, call *ast.CallExpr, name string) any {
+	rt := in.rt
+	argString := func(i int) string {
+		v := in.eval(env, call.Args[i])
+		s, ok := v.(string)
+		if !ok {
+			in.failf(call.Args[i].Pos(), "mh.%s argument %d is %s, want string", name, i+1, formatValue(v))
+		}
+		return s
+	}
+
+	switch name {
+	case "Init":
+		rt.Init()
+	case "Status":
+		return rt.Status()
+	case "ReconfigPoint":
+		// The untransformed marker is a no-op; the transform replaces it
+		// with a capture block.
+		_ = argString(0)
+	case "Sleep":
+		rt.Sleep(in.evalInt(env, call.Args[0]))
+	case "Log":
+		vals := make([]any, len(call.Args))
+		for i, a := range call.Args {
+			v := in.eval(env, a)
+			if c, ok := v.(cell); ok && c != nil {
+				v = c.get()
+			}
+			if s, ok := v.(string); ok {
+				vals[i] = s
+			} else {
+				vals[i] = formatValue(v)
+			}
+		}
+		rt.Log(vals...)
+	case "QueryIfMsgs":
+		return rt.QueryIfMsgs(argString(0))
+	case "Reconfig":
+		return rt.Reconfig()
+	case "ClearReconfig":
+		rt.ClearReconfig()
+	case "CaptureStack":
+		return rt.CaptureStack()
+	case "SetCaptureStack":
+		rt.SetCaptureStack(in.evalBool(env, call.Args[0]))
+	case "Restoring":
+		return rt.Restoring()
+	case "SetRestoring":
+		rt.SetRestoring(in.evalBool(env, call.Args[0]))
+	case "InstallSignalHandler":
+		rt.InstallSignalHandler()
+	case "Encode":
+		rt.Encode()
+	case "Decode":
+		rt.Decode()
+	case "FinishRestore":
+		rt.FinishRestore()
+	case "Read":
+		in.bridgeRead(env, call, argString(0))
+	case "Write":
+		in.bridgeWrite(env, call, argString(0))
+	case "Capture":
+		in.bridgeCapture(env, call, argString(0), argString(1))
+	case "Restore":
+		in.bridgeRestore(env, call, argString(0), argString(1))
+	default:
+		in.failf(call.Pos(), "unknown mh primitive %s", name)
+	}
+	return nil
+}
+
+func (in *Interp) bridgeRead(env *env, call *ast.CallExpr, iface string) {
+	ptrs := call.Args[1:]
+	cells := make([]cell, len(ptrs))
+	elems := make([]lang.Type, len(ptrs))
+	for i, a := range ptrs {
+		v := in.eval(env, a)
+		c, ok := v.(cell)
+		if !ok || c == nil {
+			in.failf(a.Pos(), "mh.Read argument is not a pointer")
+		}
+		cells[i] = c
+		pt, ok := in.info.TypeOf(a).(lang.Pointer)
+		if !ok {
+			in.failf(a.Pos(), "mh.Read argument has no pointer type info")
+		}
+		elems[i] = pt.Elem
+	}
+	v, ok := in.rt.ReadAbstract(iface)
+	if !ok {
+		return // recorded error surfaces via the deferred check
+	}
+	if len(cells) == 1 {
+		in.installAbstract(call, v, elems[0], cells[0])
+		return
+	}
+	if v.Kind != state.KindList || len(v.List) != len(cells) {
+		in.failf(call.Pos(), "mh.Read on %s: message arity %d does not match %d pointers", iface, len(v.List), len(cells))
+	}
+	for i, c := range cells {
+		in.installAbstract(call, v.List[i], elems[i], c)
+	}
+}
+
+func (in *Interp) installAbstract(call *ast.CallExpr, v state.Value, t lang.Type, c cell) {
+	rv, err := fromAbstract(v, t)
+	if err != nil {
+		in.failf(call.Pos(), "%v", err)
+	}
+	c.set(rv)
+}
+
+func (in *Interp) bridgeWrite(env *env, call *ast.CallExpr, iface string) {
+	vals := call.Args[1:]
+	if len(vals) == 1 {
+		av, err := toAbstract(in.eval(env, vals[0]))
+		if err != nil {
+			in.failf(call.Pos(), "%v", err)
+		}
+		in.rt.WriteAbstract(iface, av)
+		return
+	}
+	out := state.Value{Kind: state.KindList, Type: "tuple", List: make([]state.Value, len(vals))}
+	for i, a := range vals {
+		av, err := toAbstract(in.eval(env, a))
+		if err != nil {
+			in.failf(a.Pos(), "%v", err)
+		}
+		out.List[i] = av
+	}
+	in.rt.WriteAbstract(iface, out)
+}
+
+func (in *Interp) bridgeCapture(env *env, call *ast.CallExpr, fn, format string) {
+	args := call.Args[2:]
+	if len(args) == 0 {
+		in.failf(call.Pos(), "mh.Capture without a location")
+	}
+	loc, ok := in.eval(env, args[0]).(int)
+	if !ok {
+		in.failf(args[0].Pos(), "mh.Capture location must be int")
+	}
+	vars := make([]state.Var, 0, len(args)-1)
+	avs := make([]state.Value, 0, len(args))
+	avs = append(avs, state.IntValue(int64(loc)))
+	for _, a := range args[1:] {
+		av, err := toAbstract(in.eval(env, a))
+		if err != nil {
+			in.failf(a.Pos(), "%v", err)
+		}
+		vars = append(vars, state.Var{Name: exprName(a), Value: av})
+		avs = append(avs, av)
+	}
+	if err := codec.ValidateFormat(format, avs); err != nil {
+		in.failf(call.Pos(), "mh.Capture %s: %v", fn, err)
+	}
+	in.rt.CaptureAbstract(fn, loc, vars)
+}
+
+func (in *Interp) bridgeRestore(env *env, call *ast.CallExpr, fn, format string) {
+	args := call.Args[2:]
+	if len(args) == 0 {
+		in.failf(call.Pos(), "mh.Restore without a location pointer")
+	}
+	frame, ok := in.rt.NextRestoreFrame(fn)
+	if !ok {
+		return
+	}
+	if len(args)-1 != len(frame.Vars) {
+		in.failf(call.Pos(), "mh.Restore %s: frame has %d vars, %d pointers supplied", fn, len(frame.Vars), len(args)-1)
+	}
+	if format != "" {
+		avs := make([]state.Value, 0, len(frame.Vars)+1)
+		avs = append(avs, state.IntValue(int64(frame.Location)))
+		for _, v := range frame.Vars {
+			avs = append(avs, v.Value)
+		}
+		if err := codec.ValidateFormat(format, avs); err != nil {
+			in.failf(call.Pos(), "mh.Restore %s: %v", fn, err)
+		}
+	}
+	locCell := in.cellArg(env, call.Args[2])
+	locCell.set(frame.Location)
+	for i, a := range args[1:] {
+		c := in.cellArg(env, a)
+		pt, ok := in.info.TypeOf(a).(lang.Pointer)
+		if !ok {
+			in.failf(a.Pos(), "mh.Restore argument has no pointer type info")
+		}
+		in.installAbstract(call, frame.Vars[i].Value, pt.Elem, c)
+	}
+}
+
+func (in *Interp) cellArg(env *env, a ast.Expr) cell {
+	v := in.eval(env, a)
+	c, ok := v.(cell)
+	if !ok || c == nil {
+		in.failf(a.Pos(), "argument is not a pointer")
+	}
+	return c
+}
+
+// exprName renders a short name for a captured expression (the variable
+// name for idents, a best-effort rendering otherwise).
+func exprName(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.StarExpr:
+		return exprName(x.X)
+	case *ast.ParenExpr:
+		return exprName(x.X)
+	case *ast.SelectorExpr:
+		return exprName(x.X) + "." + x.Sel.Name
+	default:
+		return "expr"
+	}
+}

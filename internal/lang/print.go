@@ -1,0 +1,66 @@
+package lang
+
+import (
+	"bytes"
+	"fmt"
+	"go/format"
+	"go/printer"
+)
+
+// FormatProgram renders every file of the program back to source, keyed by
+// file name. Synthesized AST nodes (from flattening/instrumentation) carry
+// no positions, so the output is normalized through go/format — which also
+// guarantees the result is syntactically valid Go.
+func FormatProgram(p *Program) (map[string]string, error) {
+	out := make(map[string]string, len(p.Files))
+	for _, file := range p.Files {
+		var buf bytes.Buffer
+		if err := printer.Fprint(&buf, p.Fset, file); err != nil {
+			return nil, fmt.Errorf("lang: print %s: %w", file.Name.Name, err)
+		}
+		src, err := format.Source(buf.Bytes())
+		if err != nil {
+			return nil, fmt.Errorf("lang: format %s: %w\n%s", file.Name.Name, err, buf.String())
+		}
+		name := p.Fset.Position(file.Pos()).Filename
+		if name == "" {
+			name = file.Name.Name + ".go"
+		}
+		out[name] = string(src)
+	}
+	return out, nil
+}
+
+// FormatSingle renders a single-file program to source.
+func FormatSingle(p *Program) (string, error) {
+	files, err := FormatProgram(p)
+	if err != nil {
+		return "", err
+	}
+	if len(files) != 1 {
+		return "", fmt.Errorf("lang: program has %d files, want 1", len(files))
+	}
+	for _, src := range files {
+		return src, nil
+	}
+	return "", nil
+}
+
+// Reload prints a (possibly mutated) program and parses + checks the result
+// afresh, returning the new program and info. This is how passes that
+// rewrite the AST re-establish a consistent view.
+func Reload(p *Program) (*Program, *Info, error) {
+	files, err := FormatProgram(p)
+	if err != nil {
+		return nil, nil, err
+	}
+	np, err := ParseFiles(files)
+	if err != nil {
+		return nil, nil, fmt.Errorf("lang: reload: %w", err)
+	}
+	info, err := Check(np)
+	if err != nil {
+		return nil, nil, fmt.Errorf("lang: reload check: %w", err)
+	}
+	return np, info, nil
+}

@@ -1,0 +1,338 @@
+// Package liveness implements live-variable data-flow analysis over
+// flattened module procedures.
+//
+// Section 3 of the paper: "At a reconfiguration point, data-flow analysis
+// could be used to determine the set of live variables" — the authors left
+// automatic capture-set derivation as future work and had the programmer
+// list the variables in the configuration specification. This package
+// implements that analysis, so the transform can capture only what is live
+// at each reconfiguration-graph edge (experiment A2 measures the state-size
+// effect against the conservative all-locals capture).
+//
+// The analysis runs on the *flattened* form (internal/flatten), where every
+// statement of a procedure is at the top level and control transfers are
+// explicit: plain fallthrough, `goto L`, `if cond { goto L }` and `return`.
+// That makes the control-flow graph one node per top-level statement.
+//
+// Soundness notes:
+//   - a variable whose address is taken anywhere in the procedure is pinned
+//     always-live (writes through the pointer alias it);
+//   - stores through pointers, slice elements and struct fields are treated
+//     as uses of the base variable, not definitions (partial updates keep
+//     the rest of the object live).
+package liveness
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+
+	"repro/internal/lang"
+)
+
+// Analysis holds per-statement liveness for one flattened procedure.
+type Analysis struct {
+	Fn    *lang.Func
+	Stmts []ast.Stmt // top-level statements, labels unwrapped
+
+	liveIn  []map[string]bool
+	liveOut []map[string]bool
+	pinned  map[string]bool // address-taken variables
+	index   map[ast.Stmt]int
+}
+
+// Analyze computes liveness for the named (flattened) function.
+func Analyze(prog *lang.Program, info *lang.Info, name string) (*Analysis, error) {
+	fn, ok := prog.Funcs[name]
+	if !ok {
+		return nil, fmt.Errorf("liveness: no function %s", name)
+	}
+	a := &Analysis{Fn: fn, pinned: map[string]bool{}, index: map[ast.Stmt]int{}}
+
+	// Collect top-level statements and label targets.
+	labels := map[string]int{}
+	for _, s := range fn.Decl.Body.List {
+		inner := s
+		for {
+			ls, ok := inner.(*ast.LabeledStmt)
+			if !ok {
+				break
+			}
+			labels[ls.Label.Name] = len(a.Stmts)
+			inner = ls.Stmt
+		}
+		a.index[s] = len(a.Stmts)
+		a.index[inner] = len(a.Stmts)
+		a.Stmts = append(a.Stmts, inner)
+	}
+
+	// Address-taken pinning.
+	ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+		ue, ok := n.(*ast.UnaryExpr)
+		if !ok || ue.Op != token.AND {
+			return true
+		}
+		if base := baseIdent(ue.X); base != nil {
+			if d := info.VarOf(base); d != nil {
+				a.pinned[d.Name] = true
+			}
+		}
+		return true
+	})
+
+	n := len(a.Stmts)
+	succ := make([][]int, n)
+	for i, s := range a.Stmts {
+		sc, err := successors(s, i, n, labels)
+		if err != nil {
+			return nil, fmt.Errorf("liveness: %s: %w", name, err)
+		}
+		succ[i] = sc
+	}
+
+	use := make([]map[string]bool, n)
+	def := make([]map[string]bool, n)
+	for i, s := range a.Stmts {
+		use[i], def[i] = usesAndDefs(info, s)
+	}
+
+	a.liveIn = make([]map[string]bool, n)
+	a.liveOut = make([]map[string]bool, n)
+	for i := range a.liveIn {
+		a.liveIn[i] = map[string]bool{}
+		a.liveOut[i] = map[string]bool{}
+	}
+	// Backward fixpoint.
+	for changed := true; changed; {
+		changed = false
+		for i := n - 1; i >= 0; i-- {
+			out := map[string]bool{}
+			for _, s := range succ[i] {
+				for v := range a.liveIn[s] {
+					out[v] = true
+				}
+			}
+			in := map[string]bool{}
+			for v := range out {
+				if !def[i][v] {
+					in[v] = true
+				}
+			}
+			for v := range use[i] {
+				in[v] = true
+			}
+			if !sameSet(out, a.liveOut[i]) || !sameSet(in, a.liveIn[i]) {
+				a.liveOut[i] = out
+				a.liveIn[i] = in
+				changed = true
+			}
+		}
+	}
+	return a, nil
+}
+
+func sameSet(x, y map[string]bool) bool {
+	if len(x) != len(y) {
+		return false
+	}
+	for k := range x {
+		if !y[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// successors computes the control-flow successors of flat statement i.
+func successors(s ast.Stmt, i, n int, labels map[string]int) ([]int, error) {
+	next := func() []int {
+		if i+1 < n {
+			return []int{i + 1}
+		}
+		return nil
+	}
+	switch st := s.(type) {
+	case *ast.ReturnStmt:
+		return nil, nil
+	case *ast.BranchStmt:
+		if st.Tok != token.GOTO {
+			return nil, fmt.Errorf("unflattened branch %s at statement %d", st.Tok, i)
+		}
+		idx, ok := labels[st.Label.Name]
+		if !ok {
+			return nil, fmt.Errorf("goto to unknown label %s", st.Label.Name)
+		}
+		return []int{idx}, nil
+	case *ast.IfStmt:
+		// Flat form: the body is a sequence ending in goto/return, with no
+		// internal labels. Conservative handling: successors are the
+		// fallthrough plus every goto target inside; if the body cannot
+		// exit normally (ends in goto/return) that is still safe
+		// (over-approximation only adds edges).
+		out := next()
+		ast.Inspect(st, func(nd ast.Node) bool {
+			if br, ok := nd.(*ast.BranchStmt); ok && br.Tok == token.GOTO {
+				if idx, ok := labels[br.Label.Name]; ok {
+					out = append(out, idx)
+				}
+			}
+			return true
+		})
+		return out, nil
+	default:
+		return next(), nil
+	}
+}
+
+// usesAndDefs extracts the used and defined variables of one flat
+// statement.
+func usesAndDefs(info *lang.Info, s ast.Stmt) (use, def map[string]bool) {
+	use = map[string]bool{}
+	def = map[string]bool{}
+	addUses := func(e ast.Expr) {
+		if e == nil {
+			return
+		}
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if d := info.VarOf(id); d != nil {
+					use[d.Name] = true
+				}
+			}
+			return true
+		})
+	}
+	switch st := s.(type) {
+	case *ast.AssignStmt:
+		for i, rhs := range st.Rhs {
+			// `_ = x` with a bare identifier is a pure discard (the
+			// compile-time "use" has no runtime read); skip it so dead
+			// variables silenced this way stay dead.
+			if i < len(st.Lhs) && len(st.Lhs) == len(st.Rhs) {
+				if lid, ok := st.Lhs[i].(*ast.Ident); ok && lid.Name == "_" {
+					if _, bare := rhs.(*ast.Ident); bare {
+						continue
+					}
+				}
+			}
+			addUses(rhs)
+		}
+		for _, lhs := range st.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok {
+				if st.Tok != token.ASSIGN && st.Tok != token.DEFINE {
+					// op-assign reads the target too
+					if d := info.VarOf(id); d != nil {
+						use[d.Name] = true
+					}
+				}
+				if d := info.VarOf(id); d != nil && d.Name != "_" {
+					def[d.Name] = true
+				}
+				continue
+			}
+			// Indirect target (x[i], *p, x.F): uses of everything in it,
+			// no definition.
+			addUses(lhs)
+		}
+	case *ast.IncDecStmt:
+		addUses(st.X)
+		if id, ok := st.X.(*ast.Ident); ok {
+			if d := info.VarOf(id); d != nil {
+				def[d.Name] = true
+			}
+		}
+	case *ast.ExprStmt:
+		addUses(st.X)
+	case *ast.IfStmt:
+		addUses(st.Cond)
+		for _, inner := range st.Body.List {
+			u, _ := usesAndDefs(info, inner)
+			for v := range u {
+				use[v] = true
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, r := range st.Results {
+			addUses(r)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						addUses(v)
+					}
+					for _, id := range vs.Names {
+						if d := info.VarOf(id); d != nil && len(vs.Values) > 0 {
+							def[d.Name] = true
+						}
+					}
+				}
+			}
+		}
+	}
+	return use, def
+}
+
+func baseIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// IndexOf returns the flat index of a top-level statement (either the
+// labeled wrapper or the inner statement), or -1.
+func (a *Analysis) IndexOf(s ast.Stmt) int {
+	if i, ok := a.index[s]; ok {
+		return i
+	}
+	return -1
+}
+
+// LiveAfter returns the sorted variables live immediately after statement
+// i, with address-taken variables pinned in.
+func (a *Analysis) LiveAfter(i int) []string {
+	return a.sorted(a.liveOut[i])
+}
+
+// LiveBefore returns the sorted variables live immediately before
+// statement i, with address-taken variables pinned in.
+func (a *Analysis) LiveBefore(i int) []string {
+	return a.sorted(a.liveIn[i])
+}
+
+// Pinned reports whether the variable is address-taken (always captured).
+func (a *Analysis) Pinned(name string) bool { return a.pinned[name] }
+
+func (a *Analysis) sorted(set map[string]bool) []string {
+	out := make([]string, 0, len(set)+len(a.pinned))
+	seen := map[string]bool{}
+	for v := range set {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	for v := range a.pinned {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,77 @@
+package mh
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/bus"
+	"repro/internal/state"
+)
+
+// This file exposes the runtime's primitives at the abstract-value level,
+// for hosts (the module-subset interpreter) that hold state.Value operands
+// directly instead of native Go variables. The flag and state-transfer
+// logic is shared with the native API in mh.go.
+
+// ReadAbstract blocks for the next message on iface and returns its decoded
+// abstract value. The bool result is false if an error was recorded.
+func (r *Runtime) ReadAbstract(iface string) (state.Value, bool) {
+	r.pollSignals()
+	m, err := r.port.Read(iface)
+	if err != nil {
+		if errors.Is(err, bus.ErrStopped) {
+			r.failFatal(err)
+			return state.Value{}, false
+		}
+		r.record(fmt.Errorf("mh: read %s: %w", iface, err))
+		return state.Value{}, false
+	}
+	v, err := r.codec.DecodeValue(m.Data)
+	if err != nil {
+		r.record(fmt.Errorf("mh: decode message on %s: %w", iface, err))
+		return state.Value{}, false
+	}
+	return v, true
+}
+
+// WriteAbstract emits an abstract value on iface.
+func (r *Runtime) WriteAbstract(iface string, v state.Value) {
+	r.pollSignals()
+	data, err := r.codec.EncodeValue(v)
+	if err != nil {
+		r.record(fmt.Errorf("mh: encode message for %s: %w", iface, err))
+		return
+	}
+	if err := r.port.Write(iface, data); err != nil {
+		if errors.Is(err, bus.ErrStopped) {
+			r.failFatal(err)
+			return
+		}
+		r.record(fmt.Errorf("mh: write %s: %w", iface, err))
+	}
+}
+
+// CaptureAbstract appends one frame with named abstract variables.
+func (r *Runtime) CaptureAbstract(fn string, loc int, vars []state.Var) {
+	if r.capturing == nil {
+		r.capturing = state.New(r.port.Name())
+		r.capturing.Machine = r.port.Machine()
+	}
+	r.capturing.PushFrame(state.Frame{Func: fn, Location: loc, Vars: vars})
+}
+
+// NextRestoreFrame pops the next frame to replay (bottom-first), verifying
+// it belongs to fn. The bool result is false after a fatal mismatch.
+func (r *Runtime) NextRestoreFrame(fn string) (state.Frame, bool) {
+	if r.restoreIdx >= len(r.restore) {
+		r.failFatal(fmt.Errorf("%w: %s restoring beyond frame %d", ErrWrongFrame, fn, r.restoreIdx))
+		return state.Frame{}, false
+	}
+	frame := r.restore[r.restoreIdx]
+	r.restoreIdx++
+	if frame.Func != fn {
+		r.failFatal(fmt.Errorf("%w: frame %d belongs to %s, %s is restoring", ErrWrongFrame, r.restoreIdx-1, frame.Func, fn))
+		return state.Frame{}, false
+	}
+	return frame, true
+}

@@ -1,0 +1,568 @@
+// Package mh is the module-participation runtime: the reproduction of the
+// mh_* primitives that the paper's transformed modules call (Figure 4).
+//
+// A Runtime wraps a bus.Port and exposes:
+//
+//   - communication: Init, Read, Write, QueryIfMsgs, Sleep — the POLYLITH
+//     primitives the original module already used;
+//   - the three reconfiguration flags — mh_reconfig (a reconfiguration was
+//     requested), mh_capturestack (unwind and capture the activation-record
+//     stack), mh_restoring (rebuild the stack) — with the exact set/clear
+//     operations the generated capture and restore blocks perform;
+//   - state transfer: Capture, Encode, Decode, Restore, mirroring
+//     mh_capture / mh_encode / mh_decode / mh_restore.
+//
+// Error model: the paper's C primitives return no status, and the generated
+// blocks must stay straight-line code, so Runtime methods are void. Any
+// failure is recorded (Err) and fatal failures — the instance was deleted,
+// state transfer broke — divert to the FatalHandler, which by default
+// panics with Termination. Hosts (the interpreter, or the Run helper for
+// compiled modules) recover Termination and treat it as a clean exit.
+package mh
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/bus"
+	"repro/internal/codec"
+	"repro/internal/state"
+)
+
+// Termination is the panic value used to unwind a module whose instance was
+// stopped or which completed a state capture. Hosts recover it.
+type Termination struct {
+	// Reason describes why the module unwound.
+	Reason string
+}
+
+// Error implements error so Termination can travel as one.
+func (t Termination) Error() string { return "mh: module terminated: " + t.Reason }
+
+// ErrWrongFrame indicates a Restore whose frame does not match the
+// procedure executing it — the divulged state disagrees with the program.
+var ErrWrongFrame = errors.New("mh: restore frame mismatch")
+
+// Option configures a Runtime.
+type Option func(*Runtime)
+
+// WithCodec selects the codec for messages and state (default: portable).
+func WithCodec(c codec.Codec) Option { return func(r *Runtime) { r.codec = c } }
+
+// WithSleepUnit sets the duration of one mh.Sleep tick (default 1ms). The
+// paper's modules sleep in seconds; tests and benchmarks compress time.
+func WithSleepUnit(d time.Duration) Option { return func(r *Runtime) { r.sleepUnit = d } }
+
+// WithFatalHandler overrides the fatal-error handler (default: panic with
+// Termination).
+func WithFatalHandler(fn func(error)) Option { return func(r *Runtime) { r.fatal = fn } }
+
+// WithLogWriter redirects mh.Log output (default os.Stdout). A nil writer
+// silences logging.
+func WithLogWriter(w io.Writer) Option { return func(r *Runtime) { r.logw = w } }
+
+// WithStateTimeout bounds Decode's wait for installed state (default 30s).
+func WithStateTimeout(d time.Duration) Option { return func(r *Runtime) { r.stateTimeout = d } }
+
+// Runtime is the per-module-instance participation runtime. A module is
+// single-threaded (paper assumption), so Runtime is not safe for concurrent
+// use except where noted.
+type Runtime struct {
+	port         bus.Port
+	codec        codec.Codec
+	heap         *state.HeapRegistry
+	sleepUnit    time.Duration
+	stateTimeout time.Duration
+	fatal        func(error)
+	logw         io.Writer
+
+	signalsOn bool // polling enabled (Init for originals, FinishRestore for clones)
+
+	reconfig     bool
+	captureStack bool
+	restoring    bool
+
+	capturing  *state.State  // frames accumulated innermost-first during capture
+	restore    []state.Frame // frames to replay bottom-first during restoration
+	restoreIdx int
+
+	meta map[string]string
+	err  error
+
+	// FlagChecks counts evaluations of the Reconfig flag, quantifying the
+	// paper's "run-time cost is merely that of periodically testing the
+	// flags" claim (experiment C1).
+	FlagChecks int64
+}
+
+// New wraps a bus port in a participation runtime.
+func New(port bus.Port, opts ...Option) *Runtime {
+	r := &Runtime{
+		port:         port,
+		codec:        codec.Default(),
+		heap:         state.NewHeapRegistry(),
+		sleepUnit:    time.Millisecond,
+		stateTimeout: 30 * time.Second,
+		meta:         map[string]string{},
+		logw:         os.Stdout,
+	}
+	r.fatal = func(err error) { panic(Termination{Reason: err.Error()}) }
+	for _, o := range opts {
+		o(r)
+	}
+	return r
+}
+
+// Err returns the first recorded non-fatal error, if any.
+func (r *Runtime) Err() error { return r.err }
+
+func (r *Runtime) record(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+}
+
+func (r *Runtime) failFatal(err error) {
+	r.record(err)
+	r.fatal(err)
+}
+
+// Heap returns the heap registry for programmer-managed state (Section 1.2:
+// heap data and file descriptors are the programmer's obligation).
+func (r *Runtime) Heap() *state.HeapRegistry { return r.heap }
+
+// SetMeta attaches a metadata key/value that travels with divulged state.
+func (r *Runtime) SetMeta(k, v string) { r.meta[k] = v }
+
+// Port exposes the underlying bus port (for hosts, not module code).
+func (r *Runtime) Port() bus.Port { return r.port }
+
+// ---- communication primitives ----
+
+// Init prepares the module. For an original module ("add" status) it
+// installs the reconfiguration signal handler, i.e. enables signal polling
+// (the analogue of signal(SIGHUP, mh_catchreconfig) in Figure 4). A clone
+// leaves the handler uninstalled until its restoration completes.
+func (r *Runtime) Init() {
+	if r.Status() != bus.StatusClone {
+		r.signalsOn = true
+	}
+}
+
+// Status returns "add" or "clone" (mh_getstatus).
+func (r *Runtime) Status() string { return r.port.Status() }
+
+// InstallSignalHandler (re-)enables reconfiguration signal polling. The
+// generated restore block for a reconfiguration edge calls this, mirroring
+// Figure 4's signal(SIGHUP, mh_catchreconfig) after mh_restoring=0.
+func (r *Runtime) InstallSignalHandler() { r.signalsOn = true }
+
+// pollSignals moves any pending bus signal into the flags. This is the
+// asynchronous signal handler of the paper collapsed into the polling
+// points: flag reads and communication calls.
+func (r *Runtime) pollSignals() {
+	if !r.signalsOn {
+		return
+	}
+	for {
+		s, ok := r.port.TakeSignal()
+		if !ok {
+			return
+		}
+		switch s.Kind {
+		case bus.SignalReconfig:
+			r.reconfig = true
+		case bus.SignalStop:
+			r.failFatal(fmt.Errorf("%w: stop signal", bus.ErrStopped))
+		}
+	}
+}
+
+// Read blocks for the next message on iface and stores its values through
+// ptrs (mh_read). With one pointer the payload is the bare value; with
+// several it must be a tuple (list) of the same arity.
+func (r *Runtime) Read(iface string, ptrs ...any) {
+	r.pollSignals()
+	m, err := r.port.Read(iface)
+	if err != nil {
+		if errors.Is(err, bus.ErrStopped) {
+			r.failFatal(err)
+			return
+		}
+		r.record(fmt.Errorf("mh: read %s: %w", iface, err))
+		return
+	}
+	r.decodeInto(iface, m.Data, ptrs)
+}
+
+func (r *Runtime) decodeInto(iface string, data []byte, ptrs []any) {
+	v, err := r.codec.DecodeValue(data)
+	if err != nil {
+		r.record(fmt.Errorf("mh: decode message on %s: %w", iface, err))
+		return
+	}
+	if len(ptrs) == 1 {
+		if err := state.ToGo(v, ptrs[0]); err != nil {
+			r.record(fmt.Errorf("mh: read %s: %w", iface, err))
+		}
+		return
+	}
+	if v.Kind != state.KindList || len(v.List) != len(ptrs) {
+		r.record(fmt.Errorf("mh: read %s: message arity %d does not match %d pointers", iface, len(v.List), len(ptrs)))
+		return
+	}
+	for i, p := range ptrs {
+		if err := state.ToGo(v.List[i], p); err != nil {
+			r.record(fmt.Errorf("mh: read %s value %d: %w", iface, i, err))
+			return
+		}
+	}
+}
+
+// Write emits values on iface (mh_write). One value is sent bare; several
+// are sent as a tuple.
+func (r *Runtime) Write(iface string, vals ...any) {
+	r.pollSignals()
+	v, err := packValues(vals)
+	if err != nil {
+		r.record(fmt.Errorf("mh: write %s: %w", iface, err))
+		return
+	}
+	data, err := r.codec.EncodeValue(v)
+	if err != nil {
+		r.record(fmt.Errorf("mh: encode message for %s: %w", iface, err))
+		return
+	}
+	if err := r.port.Write(iface, data); err != nil {
+		if errors.Is(err, bus.ErrStopped) {
+			r.failFatal(err)
+			return
+		}
+		r.record(fmt.Errorf("mh: write %s: %w", iface, err))
+	}
+}
+
+func packValues(vals []any) (state.Value, error) {
+	if len(vals) == 1 {
+		return state.FromGo(vals[0])
+	}
+	out := state.Value{Kind: state.KindList, Type: "tuple", List: make([]state.Value, len(vals))}
+	for i, val := range vals {
+		v, err := state.FromGo(val)
+		if err != nil {
+			return state.Value{}, fmt.Errorf("value %d: %w", i, err)
+		}
+		out.List[i] = v
+	}
+	return out, nil
+}
+
+// QueryIfMsgs reports whether a message is queued on iface
+// (mh_query_ifmsgs).
+func (r *Runtime) QueryIfMsgs(iface string) bool {
+	r.pollSignals()
+	n, err := r.port.Pending(iface)
+	if err != nil {
+		if errors.Is(err, bus.ErrStopped) {
+			r.failFatal(err)
+			return false
+		}
+		r.record(fmt.Errorf("mh: query %s: %w", iface, err))
+		return false
+	}
+	return n > 0
+}
+
+// Log prints values tagged with the instance name — the module language's
+// only I/O besides the bus, for examples and demos.
+func (r *Runtime) Log(vals ...any) {
+	if r.logw == nil {
+		return
+	}
+	args := append([]any{"[" + r.port.Name() + "]"}, vals...)
+	fmt.Fprintln(r.logw, args...)
+}
+
+// Sleep pauses for ticks sleep units, waking early if the instance is
+// deleted.
+func (r *Runtime) Sleep(ticks int) {
+	r.pollSignals()
+	d := time.Duration(ticks) * r.sleepUnit
+	const slice = 5 * time.Millisecond
+	deadline := time.Now().Add(d)
+	for {
+		if r.port.Done() {
+			r.failFatal(fmt.Errorf("%w: deleted during sleep", bus.ErrStopped))
+			return
+		}
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return
+		}
+		if remaining > slice {
+			remaining = slice
+		}
+		time.Sleep(remaining)
+	}
+}
+
+// ---- reconfiguration flags ----
+
+// Reconfig reports the mh_reconfig flag, polling for a pending signal
+// first. This is the test the generated capture block at a reconfiguration
+// point performs; its cost is the paper's entire steady-state overhead.
+func (r *Runtime) Reconfig() bool {
+	r.FlagChecks++
+	r.pollSignals()
+	return r.reconfig
+}
+
+// ClearReconfig clears mh_reconfig (generated: mh_reconfig = 0).
+func (r *Runtime) ClearReconfig() { r.reconfig = false }
+
+// RequestReconfig sets mh_reconfig directly, as the in-process signal
+// handler would (exposed for tests and the quiescence baseline).
+func (r *Runtime) RequestReconfig() { r.reconfig = true }
+
+// CaptureStack reports the mh_capturestack flag.
+func (r *Runtime) CaptureStack() bool {
+	r.FlagChecks++
+	return r.captureStack
+}
+
+// SetCaptureStack sets mh_capturestack (generated: mh_capturestack = 1).
+func (r *Runtime) SetCaptureStack(on bool) { r.captureStack = on }
+
+// Restoring reports the mh_restoring flag. At module start the generated
+// code derives it from the instance status: a clone begins restoring
+// (Figure 4: if (strcmp(mh_getstatus(),"clone")==0) mh_restoring=1).
+func (r *Runtime) Restoring() bool {
+	r.FlagChecks++
+	return r.restoring
+}
+
+// SetRestoring sets or clears mh_restoring.
+func (r *Runtime) SetRestoring(on bool) { r.restoring = on }
+
+// ---- state capture ----
+
+// Capture appends one activation-record frame to the state being captured
+// (mh_capture). The format string covers the location integer followed by
+// the variables, exactly as in Figure 4 ("llF", 1, n, response); fn is the
+// capturing procedure (implicit in C, explicit here for validation).
+func (r *Runtime) Capture(fn, format string, vals ...any) {
+	if len(vals) == 0 {
+		r.record(errors.New("mh: capture without a location value"))
+		return
+	}
+	loc, ok := vals[0].(int)
+	if !ok {
+		r.record(fmt.Errorf("mh: capture location must be int, got %T", vals[0]))
+		return
+	}
+	if r.capturing == nil {
+		r.capturing = state.New(r.port.Name())
+		r.capturing.Machine = r.port.Machine()
+	}
+	frame := state.Frame{Func: fn, Location: loc}
+	avs := make([]state.Value, 0, len(vals))
+	locV := state.IntValue(int64(loc))
+	avs = append(avs, locV)
+	for i, val := range vals[1:] {
+		av, err := state.FromGo(val)
+		if err != nil {
+			r.record(fmt.Errorf("mh: capture %s var %d: %w", fn, i, err))
+			return
+		}
+		frame.Vars = append(frame.Vars, state.Var{Name: fmt.Sprintf("v%d", i), Value: av})
+		avs = append(avs, av)
+	}
+	if err := codec.ValidateFormat(format, avs); err != nil {
+		r.record(fmt.Errorf("mh: capture %s: %w", fn, err))
+		return
+	}
+	r.capturing.PushFrame(frame)
+}
+
+// CaptureNamed is Capture with explicit variable names, used when the
+// transform knows them (it always does); names make divulged state
+// self-documenting and allow name-checked restoration in tests.
+func (r *Runtime) CaptureNamed(fn string, loc int, names []string, vals ...any) {
+	if len(names) != len(vals) {
+		r.record(fmt.Errorf("mh: capture %s: %d names for %d values", fn, len(names), len(vals)))
+		return
+	}
+	if r.capturing == nil {
+		r.capturing = state.New(r.port.Name())
+		r.capturing.Machine = r.port.Machine()
+	}
+	frame := state.Frame{Func: fn, Location: loc}
+	for i, val := range vals {
+		av, err := state.FromGo(val)
+		if err != nil {
+			r.record(fmt.Errorf("mh: capture %s var %s: %w", fn, names[i], err))
+			return
+		}
+		frame.Vars = append(frame.Vars, state.Var{Name: names[i], Value: av})
+	}
+	r.capturing.PushFrame(frame)
+}
+
+// CapturedDepth returns the number of frames captured so far.
+func (r *Runtime) CapturedDepth() int {
+	if r.capturing == nil {
+		return 0
+	}
+	return r.capturing.Depth()
+}
+
+// Encode finalizes the captured state — reverses the innermost-first frames
+// into stack order, captures registered heap objects, attaches metadata —
+// and divulges it to the bus (mh_encode). The module's main returns right
+// after, completing the capture of its bottom-most activation record.
+func (r *Runtime) Encode() {
+	if r.capturing == nil {
+		r.record(errors.New("mh: encode with no captured frames"))
+		return
+	}
+	st := r.capturing
+	r.capturing = nil
+	st.Reverse()
+	heap, err := r.heap.CaptureAll()
+	if err != nil {
+		r.failFatal(fmt.Errorf("mh: encode: %w", err))
+		return
+	}
+	st.Heap = heap
+	for k, v := range r.meta {
+		st.Meta[k] = v
+	}
+	if err := st.Validate(); err != nil {
+		r.failFatal(fmt.Errorf("mh: encode: %w", err))
+		return
+	}
+	data, err := r.codec.EncodeState(st)
+	if err != nil {
+		r.failFatal(fmt.Errorf("mh: encode: %w", err))
+		return
+	}
+	if err := r.port.Divulge(data); err != nil {
+		r.failFatal(fmt.Errorf("mh: divulge: %w", err))
+	}
+}
+
+// ---- state restoration ----
+
+// Decode waits for installed state and prepares restoration (mh_decode):
+// heap objects are reinstalled, the frame cursor is set to the bottom-most
+// frame, and mh_restoring is set.
+func (r *Runtime) Decode() {
+	data, err := r.port.AwaitState(r.stateTimeout)
+	if err != nil {
+		r.failFatal(fmt.Errorf("mh: decode: %w", err))
+		return
+	}
+	st, err := r.codec.DecodeState(data)
+	if err != nil {
+		r.failFatal(fmt.Errorf("mh: decode: %w", err))
+		return
+	}
+	if err := st.Validate(); err != nil {
+		r.failFatal(fmt.Errorf("mh: decode: %w", err))
+		return
+	}
+	if err := r.heap.RestoreAll(st.Heap); err != nil {
+		r.failFatal(fmt.Errorf("mh: decode: %w", err))
+		return
+	}
+	r.restore = st.Frames
+	r.restoreIdx = 0
+	r.restoring = true
+}
+
+// Restore pops the next frame (bottom-first) and stores its location and
+// variables through ptrs (mh_restore). As in Figure 4, the format string
+// covers the location followed by the variables, and ptrs[0] receives the
+// location: mh_restore("iif", &mh_location, &n, &response).
+func (r *Runtime) Restore(fn, format string, ptrs ...any) {
+	if len(ptrs) == 0 {
+		r.failFatal(errors.New("mh: restore without a location pointer"))
+		return
+	}
+	if r.restoreIdx >= len(r.restore) {
+		r.failFatal(fmt.Errorf("%w: %s restoring beyond frame %d", ErrWrongFrame, fn, r.restoreIdx))
+		return
+	}
+	frame := r.restore[r.restoreIdx]
+	r.restoreIdx++
+	if frame.Func != fn {
+		r.failFatal(fmt.Errorf("%w: frame %d belongs to %s, %s is restoring", ErrWrongFrame, r.restoreIdx-1, frame.Func, fn))
+		return
+	}
+	if len(ptrs)-1 != len(frame.Vars) {
+		r.failFatal(fmt.Errorf("%w: %s frame has %d vars, %d pointers supplied", ErrWrongFrame, fn, len(frame.Vars), len(ptrs)-1))
+		return
+	}
+	if len(format) > 0 {
+		avs := make([]state.Value, 0, len(frame.Vars)+1)
+		avs = append(avs, state.IntValue(int64(frame.Location)))
+		for _, v := range frame.Vars {
+			avs = append(avs, v.Value)
+		}
+		if err := codec.ValidateFormat(format, avs); err != nil {
+			r.failFatal(fmt.Errorf("mh: restore %s: %w", fn, err))
+			return
+		}
+	}
+	locPtr, ok := ptrs[0].(*int)
+	if !ok {
+		r.failFatal(fmt.Errorf("mh: restore %s: location pointer is %T, want *int", fn, ptrs[0]))
+		return
+	}
+	*locPtr = frame.Location
+	for i, v := range frame.Vars {
+		if err := state.ToGo(v.Value, ptrs[i+1]); err != nil {
+			r.failFatal(fmt.Errorf("mh: restore %s var %s: %w", fn, v.Name, err))
+			return
+		}
+	}
+}
+
+// RemainingFrames reports how many frames are still to be restored.
+func (r *Runtime) RemainingFrames() int { return len(r.restore) - r.restoreIdx }
+
+// FinishRestore completes restoration: mh_restoring is cleared and the
+// reconfiguration signal handler installed (the reconfiguration-edge
+// restore code of Figure 8). It verifies every frame was consumed.
+func (r *Runtime) FinishRestore() {
+	if r.restoreIdx != len(r.restore) {
+		r.failFatal(fmt.Errorf("%w: %d frames left unrestored", ErrWrongFrame, len(r.restore)-r.restoreIdx))
+		return
+	}
+	r.restoring = false
+	r.restore = nil
+	r.signalsOn = true
+}
+
+// Stopped reports whether the module's instance has been deleted.
+func (r *Runtime) Stopped() bool { return r.port.Done() }
+
+// Run executes a module body, converting a Termination unwind into a normal
+// return. Hosts of compiled modules use it as their main loop wrapper. The
+// result is nil when the body ran to completion.
+func Run(body func()) (term *Termination) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			if t, ok := rec.(Termination); ok {
+				term = &t
+				return
+			}
+			panic(rec)
+		}
+	}()
+	body()
+	return nil
+}

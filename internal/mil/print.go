@@ -1,0 +1,104 @@
+package mil
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Print renders a specification back to MIL source. Parse(Print(spec)) is
+// structurally equal to spec (round-trip tested); comments are not
+// preserved.
+func Print(spec *Spec) string {
+	var b strings.Builder
+	for i, m := range spec.Modules {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		printModule(&b, m)
+	}
+	for _, a := range spec.Applications {
+		if len(spec.Modules) > 0 || len(spec.Applications) > 1 {
+			b.WriteByte('\n')
+		}
+		printApplication(&b, a)
+	}
+	return b.String()
+}
+
+func printModule(b *strings.Builder, m *Module) {
+	fmt.Fprintf(b, "module %s {\n", m.Name)
+	if m.Source != "" {
+		fmt.Fprintf(b, "  source = %q ::\n", m.Source)
+	}
+	if m.Machine != "" {
+		fmt.Fprintf(b, "  machine = %q ::\n", m.Machine)
+	}
+	for _, k := range sortedAttrKeys(m.Attrs) {
+		fmt.Fprintf(b, "  %s = %q ::\n", k, m.Attrs[k])
+	}
+	for _, ifc := range m.Interfaces {
+		fmt.Fprintf(b, "  %s interface %s", ifc.Role, ifc.Name)
+		if len(ifc.Pattern) > 0 {
+			fmt.Fprintf(b, " pattern = %s", typeSet(ifc.Pattern))
+		}
+		if len(ifc.Accepts) > 0 {
+			fmt.Fprintf(b, " accepts %s", typeSet(ifc.Accepts))
+		}
+		if len(ifc.Returns) > 0 {
+			fmt.Fprintf(b, " returns %s", typeSet(ifc.Returns))
+		}
+		b.WriteString(" ::\n")
+	}
+	if len(m.ReconfigPoints) > 0 {
+		labels := make([]string, len(m.ReconfigPoints))
+		for i, pt := range m.ReconfigPoints {
+			labels[i] = pt.Label
+		}
+		fmt.Fprintf(b, "  reconfiguration point = {%s} ::\n", strings.Join(labels, ", "))
+		for _, pt := range m.ReconfigPoints {
+			if len(pt.Vars) > 0 {
+				fmt.Fprintf(b, "  state %s = {%s} ::\n", pt.Label, strings.Join(pt.Vars, ", "))
+			}
+		}
+	}
+	b.WriteString("}\n")
+}
+
+func printApplication(b *strings.Builder, a *Application) {
+	fmt.Fprintf(b, "module %s {\n", a.Name)
+	for _, in := range a.Instances {
+		fmt.Fprintf(b, "  instance %s", in.Module)
+		if in.Name != in.Module {
+			fmt.Fprintf(b, " as %s", in.Name)
+		}
+		if in.Machine != "" {
+			fmt.Fprintf(b, " on %q", in.Machine)
+		}
+		b.WriteByte('\n')
+	}
+	for _, bd := range a.Binds {
+		fmt.Fprintf(b, "  bind %q %q\n", bd.From.String(), bd.To.String())
+	}
+	b.WriteString("}\n")
+}
+
+func typeSet(refs []TypeRef) string {
+	parts := make([]string, len(refs))
+	for i, r := range refs {
+		parts[i] = r.String()
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+func sortedAttrKeys(m map[string]string) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}

@@ -1,0 +1,132 @@
+package mil
+
+import "errors"
+
+// Validation errors callers may match on.
+var (
+	// ErrUnknownModule indicates an instance of an undeclared module.
+	ErrUnknownModule = errors.New("mil: unknown module")
+	// ErrUnknownInstance indicates a binding endpoint naming no instance.
+	ErrUnknownInstance = errors.New("mil: unknown instance")
+	// ErrUnknownInterface indicates a binding endpoint naming no interface.
+	ErrUnknownInterface = errors.New("mil: unknown interface")
+	// ErrDirection indicates a binding whose endpoints cannot exchange
+	// messages (sender-to-sender or receiver-to-receiver).
+	ErrDirection = errors.New("mil: binding direction mismatch")
+)
+
+// Validate checks the structural consistency of a specification:
+//
+//   - module and application names are unique, instances are unique;
+//   - every instance refers to a declared module;
+//   - every binding endpoint refers to a declared instance and interface;
+//   - at least one side of each binding sends and at least one receives;
+//   - interface names are unique within a module; reconfiguration point
+//     labels are unique within a module; modules have a source.
+func Validate(spec *Spec) error {
+	modNames := map[string]bool{}
+	for _, m := range spec.Modules {
+		if modNames[m.Name] {
+			return errAt(m.Pos, "duplicate module %s", m.Name)
+		}
+		modNames[m.Name] = true
+		if err := validateModule(m); err != nil {
+			return err
+		}
+	}
+	appNames := map[string]bool{}
+	for _, a := range spec.Applications {
+		if appNames[a.Name] || modNames[a.Name] {
+			return errAt(a.Pos, "duplicate application %s", a.Name)
+		}
+		appNames[a.Name] = true
+		if err := validateApplication(spec, a); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func validateModule(m *Module) error {
+	if m.Source == "" {
+		return errAt(m.Pos, "module %s has no source attribute", m.Name)
+	}
+	ifaceNames := map[string]bool{}
+	for _, ifc := range m.Interfaces {
+		if ifaceNames[ifc.Name] {
+			return errAt(ifc.Pos, "module %s: duplicate interface %s", m.Name, ifc.Name)
+		}
+		ifaceNames[ifc.Name] = true
+		if ifc.Role == RoleServer && len(ifc.Returns) == 0 {
+			return errAt(ifc.Pos, "module %s: server interface %s declares no returns", m.Name, ifc.Name)
+		}
+		if ifc.Role == RoleClient && len(ifc.Accepts) == 0 {
+			return errAt(ifc.Pos, "module %s: client interface %s declares no accepts", m.Name, ifc.Name)
+		}
+	}
+	labels := map[string]bool{}
+	for _, pt := range m.ReconfigPoints {
+		if labels[pt.Label] {
+			return errAt(pt.Pos, "module %s: duplicate reconfiguration point %s", m.Name, pt.Label)
+		}
+		labels[pt.Label] = true
+		seen := map[string]bool{}
+		for _, v := range pt.Vars {
+			if seen[v] {
+				return errAt(pt.Pos, "module %s point %s: duplicate state variable %s", m.Name, pt.Label, v)
+			}
+			seen[v] = true
+		}
+	}
+	return nil
+}
+
+func validateApplication(spec *Spec, a *Application) error {
+	if len(a.Instances) == 0 {
+		return errAt(a.Pos, "application %s has no instances", a.Name)
+	}
+	instByName := map[string]*Instance{}
+	for _, in := range a.Instances {
+		if _, dup := instByName[in.Name]; dup {
+			return errAt(in.Pos, "application %s: duplicate instance %s", a.Name, in.Name)
+		}
+		if spec.Module(in.Module) == nil {
+			return wrapAt(in.Pos, ErrUnknownModule, "application %s instance %s uses module %s",
+				a.Name, in.Name, in.Module)
+		}
+		instByName[in.Name] = in
+	}
+	for _, b := range a.Binds {
+		fromIfc, err := resolveEndpoint(spec, a, instByName, b.From, b.Pos)
+		if err != nil {
+			return err
+		}
+		toIfc, err := resolveEndpoint(spec, a, instByName, b.To, b.Pos)
+		if err != nil {
+			return err
+		}
+		if !fromIfc.Role.Sends() && !toIfc.Role.Sends() {
+			return wrapAt(b.Pos, ErrDirection, "neither %s (%s) nor %s (%s) can send",
+				b.From, fromIfc.Role, b.To, toIfc.Role)
+		}
+		if !fromIfc.Role.Receives() && !toIfc.Role.Receives() {
+			return wrapAt(b.Pos, ErrDirection, "neither %s (%s) nor %s (%s) can receive",
+				b.From, fromIfc.Role, b.To, toIfc.Role)
+		}
+	}
+	return nil
+}
+
+func resolveEndpoint(spec *Spec, a *Application, insts map[string]*Instance, e Endpoint, pos Pos) (*Interface, error) {
+	in, ok := insts[e.Instance]
+	if !ok {
+		return nil, wrapAt(pos, ErrUnknownInstance, "application %s binds %q", a.Name, e)
+	}
+	mod := spec.Module(in.Module)
+	ifc := mod.Interface(e.Interface)
+	if ifc == nil {
+		return nil, wrapAt(pos, ErrUnknownInterface, "module %s (instance %s) has no interface %s",
+			mod.Name, e.Instance, e.Interface)
+	}
+	return ifc, nil
+}

@@ -1,0 +1,113 @@
+package quiesce
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestQuiesceIdleModule(t *testing.T) {
+	g := NewGuard()
+	if err := g.Quiesce(time.Second); err != nil {
+		t.Fatalf("idle quiesce: %v", err)
+	}
+	// The module is held: Enter must block until Release.
+	entered := make(chan struct{})
+	go func() {
+		g.Enter()
+		close(entered)
+	}()
+	select {
+	case <-entered:
+		t.Fatal("Enter proceeded while held")
+	case <-time.After(50 * time.Millisecond):
+	}
+	g.Release()
+	select {
+	case <-entered:
+	case <-time.After(time.Second):
+		t.Fatal("Enter never proceeded after Release")
+	}
+	g.Exit()
+	if g.Units != 1 {
+		t.Errorf("Units = %d", g.Units)
+	}
+}
+
+func TestQuiesceWaitsForUnitCompletion(t *testing.T) {
+	g := NewGuard()
+	g.Enter()
+	if !g.Busy() {
+		t.Fatal("not busy inside unit")
+	}
+	start := time.Now()
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		g.Exit()
+	}()
+	if err := g.Quiesce(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 90*time.Millisecond {
+		t.Errorf("quiesce returned after %v, before the unit finished", elapsed)
+	}
+	g.Release()
+}
+
+func TestQuiesceTimeout(t *testing.T) {
+	g := NewGuard()
+	g.Enter() // never exits
+	err := g.Quiesce(50 * time.Millisecond)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v", err)
+	}
+	// The failed quiesce must not hold the module.
+	g.Exit()
+	done := make(chan struct{})
+	go func() {
+		g.Enter()
+		g.Exit()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("module blocked after abandoned quiesce")
+	}
+}
+
+func TestManyUnitsUnderContention(t *testing.T) {
+	g := NewGuard()
+	var stop atomic.Bool
+	workerDone := make(chan struct{})
+	go func() {
+		defer close(workerDone)
+		for !stop.Load() {
+			g.Enter()
+			time.Sleep(time.Millisecond)
+			g.Exit()
+		}
+	}()
+	// Repeatedly quiesce and release while the worker churns, leaving the
+	// worker a window to make progress between holds.
+	for i := 0; i < 10; i++ {
+		if err := g.Quiesce(5 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+		if g.Busy() {
+			t.Fatal("busy while quiescent")
+		}
+		g.Release()
+		time.Sleep(5 * time.Millisecond)
+	}
+	stop.Store(true)
+	select {
+	case <-workerDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("worker stuck")
+	}
+	if g.Units == 0 {
+		t.Error("no units completed")
+	}
+}

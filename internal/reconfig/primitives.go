@@ -1,0 +1,184 @@
+// Package reconfig implements the application-level reconfiguration layer:
+// the primitive operations of Figure 5 (the mh_* control calls added to
+// POLYLITH by the authors' earlier ICDCS '91 work), and the parameterized
+// reconfiguration scripts — Replace, Move, Replicate — that compose them.
+//
+// Every primitive appends a line to an audit trace, so a script's primitive
+// sequence can be golden-tested against Figure 5 and inspected by
+// operators (cmd/reconfigctl prints it).
+package reconfig
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/bus"
+)
+
+// Launcher starts the runtime of a registered module instance. The facade
+// supplies one that attaches an interpreter; cmd/polybus supplies one that
+// tracks TCP-attached processes.
+type Launcher interface {
+	// Launch begins executing the named instance's module body.
+	Launch(instance string) error
+}
+
+// LauncherFunc adapts a function to Launcher.
+type LauncherFunc func(instance string) error
+
+// Launch implements Launcher.
+func (f LauncherFunc) Launch(instance string) error { return f(instance) }
+
+// Primitives exposes the reconfiguration primitive set over one bus.
+type Primitives struct {
+	bus *bus.Bus
+
+	mu    sync.Mutex
+	trace []string
+}
+
+// NewPrimitives wraps a bus.
+func NewPrimitives(b *bus.Bus) *Primitives {
+	return &Primitives{bus: b}
+}
+
+// Bus returns the underlying bus.
+func (p *Primitives) Bus() *bus.Bus { return p.bus }
+
+func (p *Primitives) log(format string, args ...any) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.trace = append(p.trace, fmt.Sprintf(format, args...))
+}
+
+// Trace returns the primitive audit trail so far.
+func (p *Primitives) Trace() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]string, len(p.trace))
+	copy(out, p.trace)
+	return out
+}
+
+// ResetTrace clears the audit trail.
+func (p *Primitives) ResetTrace() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.trace = nil
+}
+
+// ObjCap retrieves the current specification of an instance (mh_obj_cap).
+// It reflects the live configuration, which may have changed dynamically
+// since the application was described.
+func (p *Primitives) ObjCap(name string) (bus.InstanceInfo, error) {
+	info, err := p.bus.Info(name)
+	if err != nil {
+		return bus.InstanceInfo{}, fmt.Errorf("reconfig: obj_cap %s: %w", name, err)
+	}
+	p.log("obj_cap %s", name)
+	return info, nil
+}
+
+// StructObjNames lists the live instances (mh_struct_objnames).
+func (p *Primitives) StructObjNames() []string {
+	names := p.bus.Instances()
+	p.log("struct_objnames -> %d", len(names))
+	return names
+}
+
+// StructIfDest lists where messages written on e are delivered
+// (mh_struct_ifdest).
+func (p *Primitives) StructIfDest(e bus.Endpoint) ([]bus.Endpoint, error) {
+	out, err := p.bus.IfDest(e)
+	if err != nil {
+		return nil, fmt.Errorf("reconfig: struct_ifdest %s: %w", e, err)
+	}
+	p.log("struct_ifdest %s -> %d", e, len(out))
+	return out, nil
+}
+
+// StructIfSources lists whose writes are delivered to e
+// (mh_struct_ifsources).
+func (p *Primitives) StructIfSources(e bus.Endpoint) ([]bus.Endpoint, error) {
+	out, err := p.bus.IfSources(e)
+	if err != nil {
+		return nil, fmt.Errorf("reconfig: struct_ifsources %s: %w", e, err)
+	}
+	p.log("struct_ifsources %s -> %d", e, len(out))
+	return out, nil
+}
+
+// BindBatch accumulates binding edits to apply atomically (mh_bind_cap).
+type BindBatch struct {
+	edits []bus.BindEdit
+}
+
+// BindCap creates an empty binding batch.
+func (p *Primitives) BindCap() *BindBatch {
+	p.log("bind_cap")
+	return &BindBatch{}
+}
+
+// EditBind appends one edit (mh_edit_bind). op is "add", "del", "cq" or
+// "rmq".
+func (p *Primitives) EditBind(b *BindBatch, op string, from, to bus.Endpoint) {
+	b.edits = append(b.edits, bus.BindEdit{Op: op, From: from, To: to})
+	if op == "rmq" {
+		p.log("edit_bind %s %s", op, from)
+	} else {
+		p.log("edit_bind %s %s %s", op, from, to)
+	}
+}
+
+// Rebind applies the batch atomically (mh_rebind).
+func (p *Primitives) Rebind(b *BindBatch) error {
+	if err := p.bus.Rebind(b.edits); err != nil {
+		return fmt.Errorf("reconfig: rebind: %w", err)
+	}
+	p.log("rebind (%d edits)", len(b.edits))
+	return nil
+}
+
+// AddObj registers a new instance (the "add object" half of the primitive
+// set; it does not start the module — ChgObj "add" does).
+func (p *Primitives) AddObj(spec bus.InstanceSpec) error {
+	if err := p.bus.AddInstance(spec); err != nil {
+		return fmt.Errorf("reconfig: add_obj %s: %w", spec.Name, err)
+	}
+	p.log("add_obj %s (module %s, machine %s, status %s)", spec.Name, spec.Module, spec.Machine, spec.Status)
+	return nil
+}
+
+// ObjStateMove signals old to divulge its state at the next reconfiguration
+// point, waits for the state, and installs it into dst
+// (mh_objstate_move(&old, "encode", &new, "decode")).
+func (p *Primitives) ObjStateMove(old, srcIface, dst, dstIface string, timeout time.Duration) error {
+	if err := p.bus.MoveState(old, srcIface, dst, dstIface, timeout); err != nil {
+		return fmt.Errorf("reconfig: objstate_move %s -> %s: %w", old, dst, err)
+	}
+	p.log("objstate_move %s.%s -> %s.%s", old, srcIface, dst, dstIface)
+	return nil
+}
+
+// ChgObj changes an instance's lifecycle (mh_chg_obj): "add" starts the
+// module via the launcher, "del" removes it from the bus.
+func (p *Primitives) ChgObj(launcher Launcher, name, op string) error {
+	switch op {
+	case "add":
+		if launcher == nil {
+			return fmt.Errorf("reconfig: chg_obj add %s: no launcher", name)
+		}
+		if err := launcher.Launch(name); err != nil {
+			return fmt.Errorf("reconfig: chg_obj add %s: %w", name, err)
+		}
+	case "del":
+		if err := p.bus.DeleteInstance(name); err != nil {
+			return fmt.Errorf("reconfig: chg_obj del %s: %w", name, err)
+		}
+	default:
+		return fmt.Errorf("reconfig: chg_obj: unknown op %q", op)
+	}
+	p.log("chg_obj %s %s", name, op)
+	return nil
+}

@@ -1,0 +1,227 @@
+package reconfig
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/bus"
+)
+
+// ReplaceOptions parameterizes the replacement script. The paper: "This
+// reconfiguration script is easily parameterized to accept a module name
+// and attributes. The parameterized reconfiguration script could be used to
+// replace a module in any application, provided the module had been
+// prepared to participate during reconfiguration."
+type ReplaceOptions struct {
+	// NewName names the replacement instance (required: instance names
+	// are unique while both exist).
+	NewName string
+	// Machine places the replacement; empty keeps the old placement —
+	// i.e. in-place replacement for maintenance; a different machine is
+	// the paper's migration.
+	Machine string
+	// Module optionally substitutes a different module implementation
+	// (software maintenance: v2 replacing v1). Empty keeps the module.
+	Module string
+	// Timeout bounds the wait for the old module to reach a
+	// reconfiguration point and divulge (default 30s).
+	Timeout time.Duration
+	// Attrs optionally extends the new instance's attributes.
+	Attrs map[string]string
+}
+
+// Replace performs the Figure 5 reconfiguration script: replace instance
+// old with a new instance carrying the old one's state, rebinding all its
+// interfaces and preserving queued messages.
+func Replace(p *Primitives, launcher Launcher, old string, opts ReplaceOptions) error {
+	if opts.NewName == "" {
+		return fmt.Errorf("reconfig: replace %s: NewName required", old)
+	}
+	if opts.Timeout == 0 {
+		opts.Timeout = 30 * time.Second
+	}
+
+	// Access the old module's current specification.
+	info, err := p.ObjCap(old)
+	if err != nil {
+		return err
+	}
+	spec := bus.InstanceSpec{
+		Name:       opts.NewName,
+		Module:     info.Module,
+		Machine:    info.Machine,
+		Status:     bus.StatusClone,
+		Interfaces: info.Interfaces,
+		Attrs:      map[string]string{},
+	}
+	for k, v := range info.Attrs {
+		spec.Attrs[k] = v
+	}
+	for k, v := range opts.Attrs {
+		spec.Attrs[k] = v
+	}
+	if opts.Machine != "" {
+		spec.Machine = opts.Machine
+	}
+	if opts.Module != "" {
+		spec.Module = opts.Module
+	}
+	if err := p.AddObj(spec); err != nil {
+		return err
+	}
+
+	// Prepare the rebinding commands: for every interface, replace
+	// bindings to the old instance with bindings to the new one; move the
+	// old instance's queued messages across ("cq") and clear what remains
+	// ("rmq"). Bindings on bidirectional interfaces surface both as a
+	// destination and as a source; each is rebound once.
+	batch := p.BindCap()
+	rebound := map[string]bool{}
+	bindKey := func(a, b bus.Endpoint) string {
+		if b.String() < a.String() {
+			a, b = b, a
+		}
+		return a.String() + "|" + b.String()
+	}
+	for _, ifc := range info.Interfaces {
+		oldEp := bus.Endpoint{Instance: old, Interface: ifc.Name}
+		newEp := bus.Endpoint{Instance: opts.NewName, Interface: ifc.Name}
+		if ifc.Dir.Sends() {
+			dests, err := p.StructIfDest(oldEp)
+			if err != nil {
+				return err
+			}
+			for _, d := range dests {
+				if rebound[bindKey(oldEp, d)] {
+					continue
+				}
+				rebound[bindKey(oldEp, d)] = true
+				p.EditBind(batch, "del", oldEp, d)
+				p.EditBind(batch, "add", newEp, d)
+			}
+		}
+		if ifc.Dir.Receives() {
+			sources, err := p.StructIfSources(oldEp)
+			if err != nil {
+				return err
+			}
+			for _, s := range sources {
+				if rebound[bindKey(s, oldEp)] {
+					continue
+				}
+				rebound[bindKey(s, oldEp)] = true
+				p.EditBind(batch, "del", s, oldEp)
+				p.EditBind(batch, "add", s, newEp)
+			}
+			p.EditBind(batch, "cq", oldEp, newEp)
+			p.EditBind(batch, "rmq", oldEp, bus.Endpoint{})
+		}
+	}
+
+	// Get state from the old module and send it to the new one; the
+	// binding commands apply all at once afterwards.
+	if err := p.ObjStateMove(old, "encode", opts.NewName, "decode", opts.Timeout); err != nil {
+		return err
+	}
+	if err := p.Rebind(batch); err != nil {
+		return err
+	}
+	// Start up the new module, remove the old.
+	if err := p.ChgObj(launcher, opts.NewName, "add"); err != nil {
+		return err
+	}
+	if err := p.ChgObj(nil, old, "del"); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Move relocates an instance to another machine — the Section 2
+// reconfiguration ("the compute module has been relocated to another
+// machine"). It is Replace with only the MACHINE attribute changed.
+func Move(p *Primitives, launcher Launcher, inst, newName, machine string, timeout time.Duration) error {
+	return Replace(p, launcher, inst, ReplaceOptions{
+		NewName: newName,
+		Machine: machine,
+		Timeout: timeout,
+	})
+}
+
+// Update replaces an instance's implementation with a new module version
+// (software maintenance), carrying the state across. The new module must
+// accept the old module's abstract state (same procedures and capture
+// sets at the reconfiguration points).
+func Update(p *Primitives, launcher Launcher, inst, newName, newModule string, timeout time.Duration) error {
+	return Replace(p, launcher, inst, ReplaceOptions{
+		NewName: newName,
+		Module:  newModule,
+		Timeout: timeout,
+	})
+}
+
+// Replicate adds a fresh (stateless) second instance of the same module and
+// binds it to the same peers, fanning incoming traffic out to both — the
+// replication activity of the SURGEON work the paper builds on. No module
+// participation is required: the replica starts from scratch.
+func Replicate(p *Primitives, launcher Launcher, inst, replicaName, machine string) error {
+	info, err := p.ObjCap(inst)
+	if err != nil {
+		return err
+	}
+	spec := bus.InstanceSpec{
+		Name:       replicaName,
+		Module:     info.Module,
+		Machine:    info.Machine,
+		Status:     bus.StatusAdd,
+		Interfaces: info.Interfaces,
+	}
+	if machine != "" {
+		spec.Machine = machine
+	}
+	if err := p.AddObj(spec); err != nil {
+		return err
+	}
+	batch := p.BindCap()
+	added := map[string]bool{}
+	for _, ifc := range info.Interfaces {
+		oldEp := bus.Endpoint{Instance: inst, Interface: ifc.Name}
+		newEp := bus.Endpoint{Instance: replicaName, Interface: ifc.Name}
+		if ifc.Dir.Sends() {
+			dests, err := p.StructIfDest(oldEp)
+			if err != nil {
+				return err
+			}
+			for _, d := range dests {
+				key := newEp.String() + "|" + d.String()
+				if added[key] {
+					continue
+				}
+				added[key] = true
+				p.EditBind(batch, "add", newEp, d)
+			}
+		}
+		if ifc.Dir.Receives() {
+			sources, err := p.StructIfSources(oldEp)
+			if err != nil {
+				return err
+			}
+			for _, s := range sources {
+				key := newEp.String() + "|" + s.String()
+				if added[key] {
+					continue
+				}
+				added[key] = true
+				p.EditBind(batch, "add", s, newEp)
+			}
+		}
+	}
+	if err := p.Rebind(batch); err != nil {
+		return err
+	}
+	return p.ChgObj(launcher, replicaName, "add")
+}
+
+// Remove deletes an instance and its bindings (the delete activity).
+func Remove(p *Primitives, inst string) error {
+	return p.ChgObj(nil, inst, "del")
+}

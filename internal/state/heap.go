@@ -1,0 +1,120 @@
+package state
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// HeapObject is one programmer-registered datum that travels with the
+// abstract state. The paper (Section 1.2) leaves dynamically allocated data
+// and file descriptors to the programmer: "the programmer must write code to
+// capture and restore heap data structures and to regain access to files".
+// The HeapRegistry is the structured form of that obligation: instead of
+// hand-writing capture code, the programmer registers a named object with a
+// pair of hooks, and the runtime invokes them at capture/restore time.
+type HeapObject struct {
+	Key   string
+	Value Value
+}
+
+// CaptureFunc renders a heap object into abstract form at capture time.
+type CaptureFunc func() (Value, error)
+
+// RestoreFunc reinstalls a heap object from abstract form at restore time.
+type RestoreFunc func(Value) error
+
+type heapEntry struct {
+	capture CaptureFunc
+	restore RestoreFunc
+}
+
+// HeapRegistry holds the capture/restore hooks for programmer-managed data.
+// It is safe for concurrent use; modules are single-threaded but the bus
+// control plane may trigger capture from another goroutine.
+type HeapRegistry struct {
+	mu      sync.Mutex
+	entries map[string]heapEntry
+}
+
+// NewHeapRegistry returns an empty registry.
+func NewHeapRegistry() *HeapRegistry {
+	return &HeapRegistry{entries: map[string]heapEntry{}}
+}
+
+// Register adds (or replaces) the hooks for key. A nil restore hook means
+// the object is divulged but silently dropped on restore; a nil capture hook
+// is rejected.
+func (r *HeapRegistry) Register(key string, capture CaptureFunc, restore RestoreFunc) error {
+	if key == "" {
+		return fmt.Errorf("state: heap object with empty key")
+	}
+	if capture == nil {
+		return fmt.Errorf("state: heap object %q has no capture hook", key)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.entries[key] = heapEntry{capture: capture, restore: restore}
+	return nil
+}
+
+// Unregister removes the hooks for key, if present.
+func (r *HeapRegistry) Unregister(key string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.entries, key)
+}
+
+// Keys returns the registered keys in sorted order.
+func (r *HeapRegistry) Keys() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	keys := make([]string, 0, len(r.entries))
+	for k := range r.entries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// CaptureAll invokes every capture hook and returns the heap objects in
+// sorted key order, for deterministic encoding.
+func (r *HeapRegistry) CaptureAll() ([]HeapObject, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	keys := make([]string, 0, len(r.entries))
+	for k := range r.entries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	objs := make([]HeapObject, 0, len(keys))
+	for _, k := range keys {
+		v, err := r.entries[k].capture()
+		if err != nil {
+			return nil, fmt.Errorf("state: capture heap object %q: %w", k, err)
+		}
+		objs = append(objs, HeapObject{Key: k, Value: v})
+	}
+	return objs, nil
+}
+
+// RestoreAll feeds each heap object to its registered restore hook. Objects
+// without a registered hook are reported as an error: losing heap state
+// silently would violate the paper's consistency requirement.
+func (r *HeapRegistry) RestoreAll(objs []HeapObject) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, o := range objs {
+		e, ok := r.entries[o.Key]
+		if !ok {
+			return fmt.Errorf("state: no restore hook registered for heap object %q", o.Key)
+		}
+		if e.restore == nil {
+			continue
+		}
+		if err := e.restore(o.Value); err != nil {
+			return fmt.Errorf("state: restore heap object %q: %w", o.Key, err)
+		}
+	}
+	return nil
+}

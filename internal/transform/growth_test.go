@@ -1,0 +1,59 @@
+package transform
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestInstrumentationGrowthBounded quantifies the Discussion's code-size
+// observation ("reconfiguration points located in deeply-nested procedures
+// or procedures that are called from many places increases the occurrence
+// of reconfiguration flags in the source code"): instrumentation grows each
+// prepared module by a bounded constant factor — one restore block per
+// procedure and one capture block per reconfiguration-graph edge — never
+// combinatorially.
+func TestInstrumentationGrowthBounded(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"monitor-compute", computeSrc},
+		{"dual-point", dualPointSrc},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			out := prepare(t, tc.src, Options{})
+			gen, err := out.Source()
+			if err != nil {
+				t.Fatal(err)
+			}
+			origLines := len(strings.Split(strings.TrimSpace(tc.src), "\n"))
+			genLines := len(strings.Split(strings.TrimSpace(gen), "\n"))
+			growth := float64(genLines) / float64(origLines)
+			t.Logf("%s: %d -> %d lines (%.2fx)", tc.name, origLines, genLines, growth)
+			if growth > 4 {
+				t.Errorf("instrumentation grew the module %.2fx (> 4x bound): flatten or weave regressed", growth)
+			}
+			// Flag tests appear exactly once per edge kind: one
+			// CaptureStack test per call edge, one Reconfig test per
+			// reconfiguration edge.
+			callEdges, reconfEdges := 0, 0
+			for _, e := range out.Graph.Edges {
+				if e.IsReconfig() {
+					reconfEdges++
+				} else {
+					callEdges++
+				}
+			}
+			if got := strings.Count(gen, "if mh.CaptureStack()"); got != callEdges {
+				t.Errorf("CaptureStack tests = %d, want one per call edge (%d)", got, callEdges)
+			}
+			if got := strings.Count(gen, "if mh.Reconfig()"); got != reconfEdges {
+				t.Errorf("Reconfig tests = %d, want one per reconfiguration edge (%d)", got, reconfEdges)
+			}
+			if got := strings.Count(gen, "if mh.Restoring()"); got != len(out.Graph.Nodes) {
+				t.Errorf("restore blocks = %d, want one per instrumented procedure (%d)", got, len(out.Graph.Nodes))
+			}
+		})
+	}
+}

@@ -1,0 +1,487 @@
+// Package reconf is the public API of the reproduction of Hofmeister &
+// Purtilo, "Dynamic Reconfiguration in Distributed Systems: Adapting
+// Software Modules for Replacement" (ICDCS 1993).
+//
+// It assembles the subsystems under internal/ into the platform the paper
+// describes:
+//
+//   - a configuration specification (Figure 2) is parsed and materialized
+//     as module instances and bindings on a software bus (POLYLITH);
+//   - module programs written in the module language (a Go subset, see
+//     internal/interp's LANG.md) are automatically prepared for
+//     reconfiguration participation (Section 3) when their specification
+//     declares reconfiguration points;
+//   - prepared modules run as single-threaded, bus-attached instances on
+//     logical machines;
+//   - the reconfiguration scripts (Figure 5) — Replace, Move, Update,
+//     Replicate — operate on the running application, capturing and
+//     restoring activation-record stacks mid-call.
+//
+// Quickstart:
+//
+//	app, _ := reconf.Load(reconf.Config{
+//	    SpecText: specText,
+//	    Sources:  map[string]reconf.ModuleSource{"compute": {Files: files}},
+//	    Native:   map[string]reconf.NativeModule{"sensor": sensorFn},
+//	})
+//	app.Start()
+//	app.Move("compute", "compute2", "machineB")
+package reconf
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/bus"
+	"repro/internal/codec"
+	"repro/internal/interp"
+	"repro/internal/lang"
+	"repro/internal/mh"
+	"repro/internal/mil"
+	"repro/internal/reconfig"
+	"repro/internal/transform"
+)
+
+// ModuleSource holds the module-language source files of one module.
+type ModuleSource struct {
+	Files map[string]string
+}
+
+// NativeModule is a module implemented directly in Go against the
+// participation runtime (used for substrate modules like sensors and
+// displays, and by tests). It runs on its own goroutine; returning ends the
+// instance.
+type NativeModule func(rt *mh.Runtime)
+
+// Config describes an application to load.
+type Config struct {
+	// SpecText is the configuration specification (Figure 2 dialect).
+	SpecText string
+	// Application names the application block (default: the sole one).
+	Application string
+	// Sources maps module names to module-language programs.
+	Sources map[string]ModuleSource
+	// Native maps module names to Go implementations. A module must have
+	// exactly one of a source or a native implementation.
+	Native map[string]NativeModule
+	// Mode selects capture-set derivation for prepared modules. The
+	// default is CaptureSpec when the specification lists state variables
+	// and CaptureAll otherwise — exactly the paper's convention.
+	Mode transform.CaptureMode
+	// SleepUnit compresses module time (default 1ms per mh.Sleep tick).
+	SleepUnit time.Duration
+	// Codec overrides the wire/state codec (default portable).
+	Codec codec.Codec
+	// StateTimeout bounds how long a reconfiguration waits for a module
+	// to reach a reconfiguration point (default 30s).
+	StateTimeout time.Duration
+}
+
+// Mode aliases, so callers need not import internal packages.
+const (
+	CaptureAll  = transform.CaptureAll
+	CaptureLive = transform.CaptureLive
+	CaptureSpec = transform.CaptureSpec
+)
+
+// PreparedModule is a module ready to run: either an instrumented (or
+// plain) program, or a native implementation.
+type PreparedModule struct {
+	Name   string
+	Spec   *mil.Module
+	Prog   *lang.Program
+	Info   *lang.Info
+	Output *transform.Output // nil for unprepared/native modules
+	Native NativeModule
+}
+
+// Instrumented reports whether the module carries participation code.
+func (m *PreparedModule) Instrumented() bool { return m.Output != nil }
+
+type runningInstance struct {
+	name string
+	rt   *mh.Runtime
+	done chan error
+}
+
+// App is a loaded (and possibly running) application.
+type App struct {
+	Spec        *mil.Spec
+	Application *mil.Application
+
+	bus   *bus.Bus
+	prims *reconfig.Primitives
+	cfg   Config
+
+	mu        sync.Mutex
+	modules   map[string]*PreparedModule
+	instances map[string]*runningInstance
+	instMod   map[string]string // instance -> module name
+}
+
+// Load parses and validates the specification, prepares every module that
+// declares reconfiguration points, and materializes instances and bindings
+// on a fresh bus. Modules are not started until Start (or Launch).
+func Load(cfg Config) (*App, error) {
+	if cfg.SleepUnit == 0 {
+		cfg.SleepUnit = time.Millisecond
+	}
+	if cfg.Codec == nil {
+		cfg.Codec = codec.Default()
+	}
+	if cfg.StateTimeout == 0 {
+		cfg.StateTimeout = 30 * time.Second
+	}
+	spec, err := mil.ParseAndValidate(cfg.SpecText)
+	if err != nil {
+		return nil, err
+	}
+	appSpec := spec.Application(cfg.Application)
+	if appSpec == nil {
+		return nil, fmt.Errorf("reconf: no application %q in specification", cfg.Application)
+	}
+
+	a := &App{
+		Spec:        spec,
+		Application: appSpec,
+		bus:         bus.New(),
+		cfg:         cfg,
+		modules:     map[string]*PreparedModule{},
+		instances:   map[string]*runningInstance{},
+		instMod:     map[string]string{},
+	}
+	a.prims = reconfig.NewPrimitives(a.bus)
+
+	for _, m := range spec.Modules {
+		pm, err := a.prepareModule(m)
+		if err != nil {
+			return nil, err
+		}
+		a.modules[m.Name] = pm
+	}
+
+	// Materialize instances and bindings.
+	for _, inst := range appSpec.Instances {
+		m := spec.Module(inst.Module)
+		machine := inst.Machine
+		if machine == "" {
+			machine = m.Machine
+		}
+		if machine == "" {
+			machine = "machineA"
+		}
+		if err := a.bus.AddInstance(bus.InstanceSpec{
+			Name:       inst.Name,
+			Module:     m.Name,
+			Machine:    machine,
+			Status:     bus.StatusAdd,
+			Interfaces: InterfacesOf(m),
+			Attrs:      m.Attrs,
+		}); err != nil {
+			return nil, err
+		}
+		a.instMod[inst.Name] = m.Name
+	}
+	for _, b := range appSpec.Binds {
+		from := bus.Endpoint{Instance: b.From.Instance, Interface: b.From.Interface}
+		to := bus.Endpoint{Instance: b.To.Instance, Interface: b.To.Interface}
+		if err := a.bus.AddBinding(from, to); err != nil {
+			return nil, err
+		}
+	}
+	return a, nil
+}
+
+// InterfacesOf derives bus interface specs from a MIL module specification.
+func InterfacesOf(m *mil.Module) []bus.IfaceSpec {
+	out := make([]bus.IfaceSpec, 0, len(m.Interfaces))
+	for _, ifc := range m.Interfaces {
+		var dir bus.Direction
+		switch ifc.Role {
+		case mil.RoleClient, mil.RoleServer:
+			dir = bus.InOut
+		case mil.RoleDefine:
+			dir = bus.Out
+		case mil.RoleUse:
+			dir = bus.In
+		}
+		out = append(out, bus.IfaceSpec{Name: ifc.Name, Dir: dir})
+	}
+	return out
+}
+
+func (a *App) prepareModule(m *mil.Module) (*PreparedModule, error) {
+	pm := &PreparedModule{Name: m.Name, Spec: m}
+	src, hasSrc := a.cfg.Sources[m.Name]
+	native, hasNative := a.cfg.Native[m.Name]
+	switch {
+	case hasSrc && hasNative:
+		return nil, fmt.Errorf("reconf: module %s has both source and native implementations", m.Name)
+	case hasNative:
+		if m.Reconfigurable() {
+			return nil, fmt.Errorf("reconf: module %s declares reconfiguration points but is native; only source modules can be prepared automatically", m.Name)
+		}
+		pm.Native = native
+		return pm, nil
+	case !hasSrc:
+		return nil, fmt.Errorf("reconf: module %s has no implementation", m.Name)
+	}
+
+	if !m.Reconfigurable() {
+		prog, err := lang.ParseFiles(src.Files)
+		if err != nil {
+			return nil, fmt.Errorf("reconf: module %s: %w", m.Name, err)
+		}
+		info, err := lang.Check(prog)
+		if err != nil {
+			return nil, fmt.Errorf("reconf: module %s: %w", m.Name, err)
+		}
+		pm.Prog, pm.Info = prog, info
+		return pm, nil
+	}
+
+	// Prepare for participation. The capture mode defaults to the paper's
+	// convention: use the specification's state lists when present.
+	opts := transform.Options{Mode: a.cfg.Mode, PointVars: map[string][]string{}}
+	anyVars := false
+	for _, pt := range m.ReconfigPoints {
+		if len(pt.Vars) > 0 {
+			opts.PointVars[pt.Label] = pt.Vars
+			anyVars = true
+		}
+	}
+	if opts.Mode == 0 {
+		if anyVars {
+			opts.Mode = transform.CaptureSpec
+		} else {
+			opts.Mode = transform.CaptureAll
+		}
+	}
+	out, err := transform.Prepare(src.Files, opts)
+	if err != nil {
+		return nil, fmt.Errorf("reconf: prepare module %s: %w", m.Name, err)
+	}
+	// Every point declared in the specification must exist in the source
+	// (the graph's reconfiguration edges carry the source labels).
+	for _, pt := range m.ReconfigPoints {
+		found := false
+		for _, e := range out.Graph.Edges {
+			if e.IsReconfig() && e.Point.Label == pt.Label {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("reconf: module %s: specification declares point %s but the source has no mh.ReconfigPoint(%q)", m.Name, pt.Label, pt.Label)
+		}
+	}
+	pm.Prog, pm.Info = out.Prog, out.Info
+	pm.Output = out
+	return pm, nil
+}
+
+// Module returns the prepared module by name, or nil.
+func (a *App) Module(name string) *PreparedModule {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.modules[name]
+}
+
+// Bus exposes the underlying software bus.
+func (a *App) Bus() *bus.Bus { return a.bus }
+
+// Primitives exposes the reconfiguration primitive layer (and its trace).
+func (a *App) Primitives() *reconfig.Primitives { return a.prims }
+
+// Launch implements reconfig.Launcher: it starts the runtime of a
+// registered instance.
+func (a *App) Launch(instance string) error {
+	a.mu.Lock()
+	modName, ok := a.instMod[instance]
+	if !ok {
+		// A clone created by a script: resolve its module from the bus.
+		info, err := a.bus.Info(instance)
+		if err != nil {
+			a.mu.Unlock()
+			return fmt.Errorf("reconf: launch %s: %w", instance, err)
+		}
+		modName = info.Module
+		a.instMod[instance] = modName
+	}
+	pm := a.modules[modName]
+	a.mu.Unlock()
+	if pm == nil {
+		return fmt.Errorf("reconf: launch %s: unknown module %s", instance, modName)
+	}
+
+	port, err := a.bus.Attach(instance)
+	if err != nil {
+		return fmt.Errorf("reconf: launch %s: %w", instance, err)
+	}
+	rt := mh.New(port,
+		mh.WithSleepUnit(a.cfg.SleepUnit),
+		mh.WithCodec(a.cfg.Codec),
+		mh.WithStateTimeout(a.cfg.StateTimeout),
+	)
+	ri := &runningInstance{name: instance, rt: rt, done: make(chan error, 1)}
+	a.mu.Lock()
+	a.instances[instance] = ri
+	a.mu.Unlock()
+
+	if pm.Native != nil {
+		go func() {
+			mh.Run(func() { pm.Native(rt) })
+			ri.done <- instanceErr(rt, nil)
+		}()
+		return nil
+	}
+	in := interp.New(pm.Prog, pm.Info, rt)
+	go func() {
+		_, err := in.Run()
+		ri.done <- instanceErr(rt, err)
+	}()
+	return nil
+}
+
+// instanceErr folds the runtime's recorded error into an instance's exit
+// status. Being stopped (deleted from the bus) is a clean exit; a restore
+// mismatch or capture failure is not.
+func instanceErr(rt *mh.Runtime, runErr error) error {
+	if runErr != nil {
+		return runErr
+	}
+	if err := rt.Err(); err != nil && !errors.Is(err, bus.ErrStopped) {
+		return err
+	}
+	return nil
+}
+
+// Start launches every instance of the application.
+func (a *App) Start() error {
+	for _, inst := range a.Application.Instances {
+		if err := a.Launch(inst.Name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Wait blocks until the named instance's runtime exits, returning its
+// error (nil for a clean exit or state divulgence).
+func (a *App) Wait(instance string, timeout time.Duration) error {
+	a.mu.Lock()
+	ri := a.instances[instance]
+	a.mu.Unlock()
+	if ri == nil {
+		return fmt.Errorf("reconf: instance %s was never launched", instance)
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case err := <-ri.done:
+		ri.done <- err // keep for later Waits
+		return err
+	case <-timer.C:
+		return fmt.Errorf("reconf: wait for %s: %w", instance, bus.ErrTimeout)
+	}
+}
+
+// Runtime returns the participation runtime of a launched instance (tests
+// and benchmarks use it for flag-check counters).
+func (a *App) Runtime(instance string) *mh.Runtime {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if ri := a.instances[instance]; ri != nil {
+		return ri.rt
+	}
+	return nil
+}
+
+// AttachDriver attaches an external driver to an instance declared in the
+// application (for examples and tests that drive an endpoint directly).
+// The instance must not have been launched.
+func (a *App) AttachDriver(instance string) (bus.Port, error) {
+	return a.bus.Attach(instance)
+}
+
+// ---- reconfiguration scripts ----
+
+// Move relocates an instance to another machine (the Section 2 scenario).
+func (a *App) Move(inst, newName, machine string) error {
+	return reconfig.Move(a.prims, a, inst, newName, machine, a.cfg.StateTimeout)
+}
+
+// Replace runs the Figure 5 replacement script.
+func (a *App) Replace(inst string, opts reconfig.ReplaceOptions) error {
+	if opts.Timeout == 0 {
+		opts.Timeout = a.cfg.StateTimeout
+	}
+	return reconfig.Replace(a.prims, a, inst, opts)
+}
+
+// Update swaps in a new module implementation, carrying state across.
+func (a *App) Update(inst, newName, newModule string) error {
+	return reconfig.Update(a.prims, a, inst, newName, newModule, a.cfg.StateTimeout)
+}
+
+// Replicate adds a stateless replica of an instance.
+func (a *App) Replicate(inst, replicaName, machine string) error {
+	return reconfig.Replicate(a.prims, a, inst, replicaName, machine)
+}
+
+// Remove deletes an instance.
+func (a *App) Remove(inst string) error {
+	return reconfig.Remove(a.prims, inst)
+}
+
+// Stop deletes every live instance and waits for their runtimes to wind
+// down.
+func (a *App) Stop() {
+	for _, name := range a.bus.Instances() {
+		_ = a.bus.DeleteInstance(name)
+	}
+	a.mu.Lock()
+	instances := make([]*runningInstance, 0, len(a.instances))
+	for _, ri := range a.instances {
+		instances = append(instances, ri)
+	}
+	a.mu.Unlock()
+	for _, ri := range instances {
+		select {
+		case err := <-ri.done:
+			ri.done <- err
+		case <-time.After(5 * time.Second):
+		}
+	}
+}
+
+// Topology renders the current instances and bindings, the Figure 1 view.
+func (a *App) Topology() string {
+	var lines []string
+	for _, name := range a.bus.Instances() {
+		info, err := a.bus.Info(name)
+		if err != nil {
+			continue
+		}
+		lines = append(lines, fmt.Sprintf("instance %s (module %s) on %s", name, info.Module, info.Machine))
+	}
+	binds := a.bus.Bindings()
+	bstrs := make([]string, 0, len(binds))
+	for _, b := range binds {
+		bstrs = append(bstrs, fmt.Sprintf("bind %s <-> %s", b.A, b.B))
+	}
+	sort.Strings(bstrs)
+	lines = append(lines, bstrs...)
+	return strings.Join(lines, "\n")
+}
+
+// Trace returns the reconfiguration primitive audit trail.
+func (a *App) Trace() []string { return a.prims.Trace() }
+
+// ErrNotPrepared reports operations needing participation on a module that
+// was not prepared.
+var ErrNotPrepared = errors.New("reconf: module not prepared for participation")
