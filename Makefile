@@ -1,0 +1,10 @@
+# Tier-1: the gate every change must pass (see ROADMAP.md).
+.PHONY: test
+test:
+	go build ./... && go test ./...
+
+# Tier-2: static vetting + race-detector runs of the concurrency-heavy
+# packages. Run before touching bus/quiesce or shipping a PR.
+.PHONY: check
+check:
+	./scripts/check.sh

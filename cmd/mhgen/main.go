@@ -2,7 +2,8 @@
 // line: it prepares a module for reconfiguration participation.
 //
 //	mhgen -module compute -src ./modules/compute [-spec app.mil] \
-//	      [-mode all|live|spec] [-o ./gen/compute] [-standalone] [-dot]
+//	      [-mode all|live|spec] [-o ./gen/compute] [-standalone] [-dot] \
+//	      [-strict=false]
 //
 // The module's .go files (module language, see internal/interp's LANG.md)
 // are read from -src. With -spec, the configuration specification supplies
@@ -11,6 +12,11 @@
 // to -o (or printed). -standalone emits a compilable package main bound to
 // repro/mhrt; -dot also writes the static and reconfiguration call graphs
 // (Figure 6) in Graphviz form.
+//
+// Before transforming, mhgen runs the static reconfiguration-safety
+// analyzer (internal/analyze, also available as cmd/mhlint) and refuses
+// configurations with errors — an unsound capture set, an unreachable
+// reconfiguration point, a mistyped binding. -strict=false skips the gate.
 package main
 
 import (
@@ -21,6 +27,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/analyze"
 	"repro/internal/mil"
 	"repro/internal/transform"
 )
@@ -43,6 +50,7 @@ func run(args []string, stdout *os.File) error {
 		standalone = fs.Bool("standalone", false, "emit a compilable package main bound to repro/mhrt")
 		dot        = fs.Bool("dot", false, "also write static.dot and reconfig.dot (Figure 6)")
 		report     = fs.Bool("report", true, "print the per-procedure capture report")
+		strict     = fs.Bool("strict", true, "refuse to transform a configuration the static analyzer rejects")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -68,6 +76,7 @@ func run(args []string, stdout *os.File) error {
 	default:
 		return fmt.Errorf("unknown -mode %q", *mode)
 	}
+	var spec *mil.Spec
 	if *specFile != "" {
 		if *moduleName == "" {
 			return fmt.Errorf("-module is required with -spec")
@@ -76,7 +85,7 @@ func run(args []string, stdout *os.File) error {
 		if err != nil {
 			return err
 		}
-		spec, err := mil.ParseAndValidate(string(data))
+		spec, err = mil.ParseAndValidate(string(data))
 		if err != nil {
 			return err
 		}
@@ -91,6 +100,28 @@ func run(args []string, stdout *os.File) error {
 		}
 		if opts.Mode == 0 && len(opts.PointVars) > 0 {
 			opts.Mode = transform.CaptureSpec
+		}
+	}
+
+	// Pre-transform gate: run the static analyzer; errors (an unsound
+	// capture set, an unreachable point, ...) stop the transform.
+	if *strict {
+		acfg := analyze.Config{Sources: sources, Mode: opts.Mode}
+		if spec != nil {
+			acfg.Spec = spec
+			acfg.SpecFile = *specFile
+			acfg.Module = *moduleName
+		}
+		rep, err := analyze.Run(acfg)
+		if err != nil {
+			return err
+		}
+		if len(rep.Diags) > 0 {
+			fmt.Fprint(os.Stderr, rep.Text())
+		}
+		if rep.HasErrors() {
+			errs, _ := rep.Counts()
+			return fmt.Errorf("static analysis found %d error(s); fix the configuration or rerun with -strict=false", errs)
 		}
 	}
 

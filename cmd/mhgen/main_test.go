@@ -101,3 +101,34 @@ func TestMhgenErrors(t *testing.T) {
 		t.Error("unknown module accepted")
 	}
 }
+
+func TestMhgenStrictGate(t *testing.T) {
+	// Sabotage the Figure 2 state list: dropping num loses live state, so
+	// the analyzer gate must refuse to transform.
+	srcDir, _ := writeModule(t)
+	dir := t.TempDir()
+	badSpec := filepath.Join(dir, "bad.mil")
+	spec := strings.Replace(fixtures.MonitorSpec,
+		"state R = {num, n, rp} ::", "state R = {n, rp} ::", 1)
+	if err := os.WriteFile(badSpec, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	outDir := filepath.Join(dir, "gen")
+	args := []string{"-src", srcDir, "-spec", badSpec, "-module", "compute", "-o", outDir}
+
+	err := run(args, os.Stdout)
+	if err == nil {
+		t.Fatal("strict gate passed an unsound capture set")
+	}
+	if !strings.Contains(err.Error(), "static analysis") {
+		t.Errorf("unexpected error: %v", err)
+	}
+	if _, statErr := os.Stat(filepath.Join(outDir, "compute.go")); statErr == nil {
+		t.Error("output written despite failed gate")
+	}
+
+	// The escape hatch still transforms.
+	if err := run(append(args, "-strict=false"), os.Stdout); err != nil {
+		t.Fatalf("-strict=false: %v", err)
+	}
+}

@@ -1,0 +1,168 @@
+package analyze
+
+import (
+	"errors"
+	"fmt"
+	"go/token"
+
+	"repro/internal/lang"
+	"repro/internal/mil"
+	"repro/internal/transform"
+)
+
+// Config selects what one analyzer run examines. Sources is required;
+// everything else widens the set of passes that can run.
+type Config struct {
+	// Sources maps file name to module source text.
+	Sources map[string]string
+	// Spec is the parsed configuration specification, or nil to run the
+	// source-only passes.
+	Spec *mil.Spec
+	// SpecFile names the specification file for diagnostic positions.
+	SpecFile string
+	// Module names the module specification in Spec that describes
+	// Sources. Required when Spec is set.
+	Module string
+	// Replacement maps file name to the proposed replacement module's
+	// sources, or nil to skip the replacement-compatibility pass.
+	Replacement map[string]string
+	// Mode overrides the capture mode under analysis. Zero means the
+	// transform default: spec mode when the module declares state lists,
+	// all-locals otherwise.
+	Mode transform.CaptureMode
+}
+
+// Run executes every applicable pass and returns the sorted report. The
+// error return is reserved for configuration misuse (no sources, unknown
+// module name); analysis findings — including unparseable input — are
+// diagnostics, not errors.
+func Run(cfg Config) (*Report, error) {
+	if len(cfg.Sources) == 0 {
+		return nil, errors.New("analyze: no sources")
+	}
+	var mod *mil.Module
+	if cfg.Spec != nil {
+		if cfg.Module == "" {
+			return nil, errors.New("analyze: spec given without module name")
+		}
+		mod = cfg.Spec.Module(cfg.Module)
+		if mod == nil {
+			return nil, fmt.Errorf("analyze: spec has no module %s", cfg.Module)
+		}
+	}
+
+	r := &Report{}
+
+	// Pass 0a: specification validity (MH001).
+	if cfg.Spec != nil {
+		specDiagnostics(r, cfg.Spec, cfg.SpecFile)
+	}
+
+	// Pass 0b: source validity (MH002). Later passes need a checked
+	// program; stop at the first layer that fails.
+	prog, info, ok := checkedProgram(r, cfg.Sources, cfg.SpecFile)
+
+	if ok {
+		// Pass 1: reconfiguration-point placement (MH008–MH010).
+		checkPlacement(r, prog, info)
+
+		if mod != nil {
+			// Pass 2: spec/source point cross-checks (MH003–MH005) and
+			// capture-set soundness (MH006, MH007).
+			checkCapture(r, cfg, mod, prog, info)
+		}
+	}
+
+	// Pass 3: binding compatibility (MH011, MH012) — needs only the spec.
+	if cfg.Spec != nil {
+		checkBindings(r, cfg.Spec, cfg.SpecFile)
+	}
+
+	// Pass 4: replacement compatibility (MH013–MH015).
+	if ok && len(cfg.Replacement) > 0 {
+		checkReplacement(r, cfg, mod)
+	}
+
+	r.Sort()
+	return r, nil
+}
+
+// specDiagnostics converts MIL validation findings into MH001 diagnostics.
+func specDiagnostics(r *Report, spec *mil.Spec, specFile string) {
+	err := mil.Validate(spec)
+	if err == nil {
+		return
+	}
+	var list mil.ErrorList
+	if errors.As(err, &list) {
+		for _, pe := range list {
+			r.add(CodeSpecInvalid, SevError, milPos(specFile, pe.Pos), "%s", pe.Msg)
+		}
+		return
+	}
+	r.add(CodeSpecInvalid, SevError, token.Position{Filename: specFile}, "%s", err.Error())
+}
+
+// checkedProgram parses and checks the module sources, reporting failures
+// as MH002. ok is false when later passes cannot run.
+func checkedProgram(r *Report, sources map[string]string, specFile string) (*lang.Program, *lang.Info, bool) {
+	prog, err := lang.ParseFiles(sources)
+	if err != nil {
+		r.add(CodeSourceInvalid, SevError, token.Position{}, "%s", err.Error())
+		return nil, nil, false
+	}
+	info, err := lang.Check(prog)
+	if err != nil {
+		var list lang.ErrorList
+		if errors.As(err, &list) {
+			for _, e := range list {
+				r.add(CodeSourceInvalid, SevError, e.Pos, "%s", e.Msg)
+			}
+		} else {
+			r.add(CodeSourceInvalid, SevError, token.Position{}, "%s", err.Error())
+		}
+		return nil, nil, false
+	}
+	return prog, info, true
+}
+
+// milPos converts a MIL position into a token.Position anchored at the
+// specification file.
+func milPos(specFile string, p mil.Pos) token.Position {
+	return token.Position{Filename: specFile, Line: p.Line, Column: p.Col}
+}
+
+// effectiveMode resolves the capture mode under analysis, mirroring
+// cmd/mhgen's default: specification lists when present, all-locals
+// otherwise.
+func effectiveMode(cfg Config, mod *mil.Module) transform.CaptureMode {
+	if cfg.Mode != 0 {
+		return cfg.Mode
+	}
+	if mod != nil && specHasVars(mod) {
+		return transform.CaptureSpec
+	}
+	return transform.CaptureAll
+}
+
+// specHasVars reports whether any reconfiguration point declares a state
+// list.
+func specHasVars(mod *mil.Module) bool {
+	for _, pt := range mod.ReconfigPoints {
+		if len(pt.Vars) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// pointVars extracts the per-point state lists of a module specification.
+func pointVars(mod *mil.Module) map[string][]string {
+	out := map[string][]string{}
+	for _, pt := range mod.ReconfigPoints {
+		if len(pt.Vars) > 0 {
+			out[pt.Label] = pt.Vars
+		}
+	}
+	return out
+}

@@ -1,0 +1,520 @@
+package analyze
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/fixtures"
+	"repro/internal/mil"
+	"repro/internal/transform"
+)
+
+// runOn analyzes one in-memory configuration.
+func runOn(t *testing.T, cfg Config) *Report {
+	t.Helper()
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// parseSpec parses (without validating — Run validates) a spec text.
+func parseSpec(t *testing.T, src string) *mil.Spec {
+	t.Helper()
+	spec, err := mil.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+// codes returns the diagnostic codes of a report, in report order.
+func codes(r *Report) []string {
+	var out []string
+	for _, d := range r.Diags {
+		out = append(out, d.Code)
+	}
+	return out
+}
+
+func hasCode(r *Report, code string) bool {
+	for _, d := range r.Diags {
+		if d.Code == code {
+			return true
+		}
+	}
+	return false
+}
+
+func TestMonitorFixtureClean(t *testing.T) {
+	r := runOn(t, Config{
+		Sources:  map[string]string{"compute.go": fixtures.ComputeSource},
+		Spec:     parseSpec(t, fixtures.MonitorSpec),
+		SpecFile: "app.mil",
+		Module:   "compute",
+	})
+	if len(r.Diags) != 0 {
+		t.Errorf("Monitor fixture not clean:\n%s", r.Text())
+	}
+	if r.HasErrors() {
+		t.Error("HasErrors on clean run")
+	}
+}
+
+// monitorSpecWithState returns the Monitor spec with compute's state list
+// replaced.
+func monitorSpecWithState(t *testing.T, stateList string) *mil.Spec {
+	t.Helper()
+	src := strings.Replace(fixtures.MonitorSpec,
+		"state R = {num, n, rp} ::", stateList, 1)
+	if src == fixtures.MonitorSpec && stateList != "state R = {num, n, rp} ::" {
+		t.Fatal("state clause not found in fixture spec")
+	}
+	return parseSpec(t, src)
+}
+
+func TestCaptureMissingVariable(t *testing.T) {
+	// Dropping num from the Figure 2 list loses live state: num feeds the
+	// average update after the point.
+	r := runOn(t, Config{
+		Sources:  map[string]string{"compute.go": fixtures.ComputeSource},
+		Spec:     monitorSpecWithState(t, "state R = {n, rp} ::"),
+		SpecFile: "app.mil",
+		Module:   "compute",
+	})
+	if !hasCode(r, CodeCaptureMissing) {
+		t.Fatalf("no MH006 in %v", codes(r))
+	}
+	if !r.HasErrors() {
+		t.Error("MH006 must be an error")
+	}
+	d := r.Diags[0]
+	if d.Pos.Filename != "app.mil" || d.Pos.Line == 0 {
+		t.Errorf("MH006 position = %v, want spec position", d.Pos)
+	}
+	if !strings.Contains(d.Message, "num") {
+		t.Errorf("MH006 message %q does not name num", d.Message)
+	}
+}
+
+func TestCaptureDeadVariable(t *testing.T) {
+	// temper is rewritten by mh.Read before every use after the point:
+	// capturing it is pure waste (warning, not error).
+	r := runOn(t, Config{
+		Sources:  map[string]string{"compute.go": fixtures.ComputeSource},
+		Spec:     monitorSpecWithState(t, "state R = {num, n, rp, temper} ::"),
+		SpecFile: "app.mil",
+		Module:   "compute",
+	})
+	if !hasCode(r, CodeCaptureDead) {
+		t.Fatalf("no MH007 in %v", codes(r))
+	}
+	if r.HasErrors() {
+		t.Errorf("dead capture must be warning-only:\n%s", r.Text())
+	}
+	if !strings.Contains(r.Diags[0].Message, "temper") {
+		t.Errorf("MH007 message %q does not name temper", r.Diags[0].Message)
+	}
+}
+
+func TestUnknownStateVariable(t *testing.T) {
+	r := runOn(t, Config{
+		Sources:  map[string]string{"compute.go": fixtures.ComputeSource},
+		Spec:     monitorSpecWithState(t, "state R = {num, n, rp, ghost} ::"),
+		SpecFile: "app.mil",
+		Module:   "compute",
+	})
+	if !hasCode(r, CodeUnknownStateVar) {
+		t.Fatalf("no MH005 in %v", codes(r))
+	}
+	if !r.HasErrors() {
+		t.Error("MH005 must be an error")
+	}
+}
+
+func TestSpecPointWithoutMarker(t *testing.T) {
+	spec := parseSpec(t, strings.Replace(fixtures.MonitorSpec,
+		"reconfiguration point = {R} ::",
+		"reconfiguration point = {R, Q} ::", 1))
+	r := runOn(t, Config{
+		Sources:  map[string]string{"compute.go": fixtures.ComputeSource},
+		Spec:     spec,
+		SpecFile: "app.mil",
+		Module:   "compute",
+	})
+	if !hasCode(r, CodePointNoMarker) {
+		t.Fatalf("no MH003 in %v", codes(r))
+	}
+}
+
+func TestSourceMarkerNotInSpec(t *testing.T) {
+	src := strings.Replace(fixtures.ComputeSource,
+		"mh.Read(\"sensor\", &temper)",
+		"mh.ReconfigPoint(\"S\")\n\tmh.Read(\"sensor\", &temper)", 1)
+	r := runOn(t, Config{
+		Sources:  map[string]string{"compute.go": src},
+		Spec:     parseSpec(t, fixtures.MonitorSpec),
+		SpecFile: "app.mil",
+		Module:   "compute",
+	})
+	if !hasCode(r, CodeMarkerNotInSpec) {
+		t.Fatalf("no MH004 in %v", codes(r))
+	}
+	if r.HasErrors() {
+		t.Errorf("undeclared marker must be warning-only:\n%s", r.Text())
+	}
+}
+
+func TestUnreachablePoint(t *testing.T) {
+	r := runOn(t, Config{Sources: map[string]string{"m.go": `package m
+
+func main() {
+	mh.Init()
+	mh.ReconfigPoint("R0")
+}
+
+func orphan() {
+	mh.ReconfigPoint("R")
+}
+`}})
+	if !hasCode(r, CodePointUnreachable) {
+		t.Fatalf("no MH008 in %v", codes(r))
+	}
+	if !r.HasErrors() {
+		t.Error("MH008 must be an error")
+	}
+	for _, d := range r.Diags {
+		if d.Code == CodePointUnreachable && d.Pos.Filename != "m.go" {
+			t.Errorf("MH008 position = %v, want source position", d.Pos)
+		}
+	}
+}
+
+func TestRecursiveCycleWithoutPoint(t *testing.T) {
+	r := runOn(t, Config{Sources: map[string]string{"m.go": `package m
+
+func main() {
+	mh.ReconfigPoint("R")
+	spin(3)
+}
+
+func spin(n int) {
+	if n > 0 {
+		spin(n - 1)
+	}
+}
+`}})
+	if !hasCode(r, CodeCycleNoPoint) {
+		t.Fatalf("no MH009 in %v", codes(r))
+	}
+	if r.HasErrors() {
+		t.Errorf("MH009 must be warning-only:\n%s", r.Text())
+	}
+	if !strings.Contains(r.Diags[0].Message, "spin") {
+		t.Errorf("MH009 message %q does not name the cycle", r.Diags[0].Message)
+	}
+}
+
+func TestCycleWithPointIsClean(t *testing.T) {
+	// The Monitor compute module is itself a recursive cycle containing R.
+	r := runOn(t, Config{Sources: map[string]string{"compute.go": fixtures.ComputeSource}})
+	if hasCode(r, CodeCycleNoPoint) {
+		t.Errorf("MH009 on a cycle that contains a point:\n%s", r.Text())
+	}
+}
+
+func TestNoPointsWarning(t *testing.T) {
+	r := runOn(t, Config{Sources: map[string]string{"m.go": `package m
+
+func main() {
+	mh.Init()
+}
+`}})
+	if !hasCode(r, CodeNoPoints) {
+		t.Fatalf("no MH010 in %v", codes(r))
+	}
+	if r.HasErrors() {
+		t.Error("MH010 must be warning-only")
+	}
+}
+
+func TestSourceErrorsReported(t *testing.T) {
+	r := runOn(t, Config{Sources: map[string]string{"m.go": `package m
+
+func main() {
+	x := undeclared
+	_ = x
+}
+`}})
+	if !hasCode(r, CodeSourceInvalid) {
+		t.Fatalf("no MH002 in %v", codes(r))
+	}
+}
+
+func TestSpecErrorsReported(t *testing.T) {
+	// A spec whose bind names an unknown instance: every finding becomes
+	// an MH001 with a spec position.
+	spec := parseSpec(t, `
+module m { source = "./m" :: reconfiguration point = {R} :: }
+module app { instance m :: bind "ghost out" "m in" }
+`)
+	r := runOn(t, Config{
+		Sources: map[string]string{"m.go": `package m
+
+func main() {
+	mh.ReconfigPoint("R")
+}
+`},
+		Spec:     spec,
+		SpecFile: "app.mil",
+		Module:   "m",
+	})
+	if !hasCode(r, CodeSpecInvalid) {
+		t.Fatalf("no MH001 in %v", codes(r))
+	}
+	for _, d := range r.Diags {
+		if d.Code == CodeSpecInvalid && d.Pos.Filename != "app.mil" {
+			t.Errorf("MH001 position = %v", d.Pos)
+		}
+	}
+}
+
+const bindModuleSrc = `package a
+
+func main() {
+	mh.ReconfigPoint("R")
+}
+`
+
+func TestBindingTypeMismatch(t *testing.T) {
+	spec := parseSpec(t, `
+module a { source = "./a" :: reconfiguration point = {R} :: define interface out pattern = {integer} :: }
+module b { source = "./b" :: use interface in pattern = {string} :: }
+module app { instance a :: instance b :: bind "a out" "b in" }
+`)
+	r := runOn(t, Config{
+		Sources:  map[string]string{"a.go": bindModuleSrc},
+		Spec:     spec,
+		SpecFile: "app.mil",
+		Module:   "a",
+	})
+	if !hasCode(r, CodeBindingMismatch) {
+		t.Fatalf("no MH011 in %v", codes(r))
+	}
+	if !r.HasErrors() {
+		t.Error("MH011 must be an error")
+	}
+}
+
+func TestBindingArityMismatch(t *testing.T) {
+	spec := parseSpec(t, `
+module a { source = "./a" :: reconfiguration point = {R} :: define interface out pattern = {integer, integer} :: }
+module b { source = "./b" :: use interface in pattern = {integer} :: }
+module app { instance a :: instance b :: bind "a out" "b in" }
+`)
+	r := runOn(t, Config{
+		Sources:  map[string]string{"a.go": bindModuleSrc},
+		Spec:     spec,
+		SpecFile: "app.mil",
+		Module:   "a",
+	})
+	if !hasCode(r, CodeBindingMismatch) {
+		t.Fatalf("no MH011 in %v", codes(r))
+	}
+}
+
+func TestBindingClientServerRoundTrip(t *testing.T) {
+	// A client/server pair checks both directions: request pattern and
+	// reply set. The reply here is mistyped.
+	spec := parseSpec(t, `
+module c { source = "./c" :: reconfiguration point = {R} :: client interface call pattern = {integer} accepts {-string} :: }
+module s { source = "./s" :: server interface serve pattern = {^integer} returns {float} :: }
+module app { instance c :: instance s :: bind "c call" "s serve" }
+`)
+	r := runOn(t, Config{
+		Sources:  map[string]string{"c.go": strings.Replace(bindModuleSrc, "package a", "package c", 1)},
+		Spec:     spec,
+		SpecFile: "app.mil",
+		Module:   "c",
+	})
+	if !hasCode(r, CodeBindingMismatch) {
+		t.Fatalf("no MH011 in %v", codes(r))
+	}
+}
+
+func TestUnknownMILType(t *testing.T) {
+	spec := parseSpec(t, `
+module a { source = "./a" :: reconfiguration point = {R} :: define interface out pattern = {widget} :: }
+module b { source = "./b" :: use interface in pattern = {integer} :: }
+module app { instance a :: instance b :: bind "a out" "b in" }
+`)
+	r := runOn(t, Config{
+		Sources:  map[string]string{"a.go": bindModuleSrc},
+		Spec:     spec,
+		SpecFile: "app.mil",
+		Module:   "a",
+	})
+	if !hasCode(r, CodeUnknownMILType) {
+		t.Fatalf("no MH012 in %v", codes(r))
+	}
+	if hasCode(r, CodeBindingMismatch) {
+		t.Errorf("unknown type must suppress the kind comparison:\n%s", r.Text())
+	}
+	if r.HasErrors() {
+		t.Error("MH012 must be warning-only")
+	}
+}
+
+const replOldSrc = `package m
+
+func main() {
+	var r float64
+	work(3, &r)
+	mh.Write("out", r)
+}
+
+func work(n int, rp *float64) {
+	mh.ReconfigPoint("R")
+	*rp = float64(n)
+}
+`
+
+func replCfg(newSrc string) Config {
+	return Config{
+		Sources:     map[string]string{"m.go": replOldSrc},
+		Replacement: map[string]string{"m.go": newSrc},
+	}
+}
+
+func TestReplacementCompatible(t *testing.T) {
+	// A behavioral change with the same reconfiguration structure is
+	// accepted.
+	r := runOn(t, replCfg(strings.Replace(replOldSrc,
+		"*rp = float64(n)", "*rp = float64(n) * 2.0", 1)))
+	if len(r.Diags) != 0 {
+		t.Errorf("compatible replacement flagged:\n%s", r.Text())
+	}
+}
+
+func TestReplacementDropsProcedure(t *testing.T) {
+	r := runOn(t, replCfg(`package m
+
+func main() {
+	var r float64
+	work2(3, &r)
+	mh.Write("out", r)
+}
+
+func work2(n int, rp *float64) {
+	mh.ReconfigPoint("R")
+	*rp = float64(n)
+}
+`))
+	if !hasCode(r, CodeReplacementDropsProc) {
+		t.Fatalf("no MH013 in %v", codes(r))
+	}
+	if !r.HasErrors() {
+		t.Error("MH013 must be an error")
+	}
+}
+
+func TestReplacementTypeMismatch(t *testing.T) {
+	r := runOn(t, replCfg(`package m
+
+func main() {
+	var r float64
+	work(3, &r)
+	mh.Write("out", r)
+}
+
+func work(n float64, rp *float64) {
+	mh.ReconfigPoint("R")
+	*rp = n
+}
+`))
+	if !hasCode(r, CodeReplacementShape) {
+		t.Fatalf("no MH014 in %v", codes(r))
+	}
+	if !r.HasErrors() {
+		t.Error("type mismatch must be an error")
+	}
+}
+
+func TestReplacementRenameIsWarning(t *testing.T) {
+	r := runOn(t, replCfg(`package m
+
+func main() {
+	var r float64
+	work(3, &r)
+	mh.Write("out", r)
+}
+
+func work(count int, rp *float64) {
+	mh.ReconfigPoint("R")
+	*rp = float64(count)
+}
+`))
+	if !hasCode(r, CodeReplacementShape) {
+		t.Fatalf("no MH014 in %v", codes(r))
+	}
+	if r.HasErrors() {
+		t.Errorf("a pure rename must be warning-only:\n%s", r.Text())
+	}
+}
+
+func TestReplacementEdgeMismatch(t *testing.T) {
+	r := runOn(t, replCfg(`package m
+
+func main() {
+	var r float64
+	work(3, &r)
+	work(4, &r)
+	mh.Write("out", r)
+}
+
+func work(n int, rp *float64) {
+	mh.ReconfigPoint("R")
+	*rp = float64(n)
+}
+`))
+	if !hasCode(r, CodeReplacementEdges) {
+		t.Fatalf("no MH015 in %v", codes(r))
+	}
+}
+
+func TestReplacementDropsPointLabel(t *testing.T) {
+	r := runOn(t, replCfg(strings.Replace(replOldSrc,
+		`mh.ReconfigPoint("R")`, `mh.ReconfigPoint("S")`, 1)))
+	if !hasCode(r, CodeReplacementEdges) {
+		t.Fatalf("no MH015 in %v", codes(r))
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Error("no sources accepted")
+	}
+	spec := parseSpec(t, `module m { source = "./m" :: }`)
+	if _, err := Run(Config{Sources: map[string]string{"m.go": bindModuleSrc}, Spec: spec}); err == nil {
+		t.Error("spec without module name accepted")
+	}
+	if _, err := Run(Config{Sources: map[string]string{"m.go": bindModuleSrc}, Spec: spec, Module: "ghost"}); err == nil {
+		t.Error("unknown module accepted")
+	}
+}
+
+func TestCaptureSoundnessSkippedOutsideSpecMode(t *testing.T) {
+	// Under an explicit all-locals mode the declared lists are unused;
+	// the dropped-variable error must not fire.
+	r := runOn(t, Config{
+		Sources:  map[string]string{"compute.go": fixtures.ComputeSource},
+		Spec:     monitorSpecWithState(t, "state R = {rp} ::"),
+		SpecFile: "app.mil",
+		Module:   "compute",
+		Mode:     transform.CaptureAll,
+	})
+	if hasCode(r, CodeCaptureMissing) {
+		t.Errorf("MH006 fired in all mode:\n%s", r.Text())
+	}
+}

@@ -1,0 +1,258 @@
+package analyze
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+
+	"repro/internal/callgraph"
+	"repro/internal/flatten"
+	"repro/internal/lang"
+	"repro/internal/liveness"
+	"repro/internal/mil"
+	"repro/internal/transform"
+)
+
+// checkCapture cross-checks the specification's reconfiguration points
+// against the source (MH003–MH005) and, when the configuration uses
+// declared state lists, diffs them against the liveness analysis
+// (MH006, MH007).
+func checkCapture(r *Report, cfg Config, mod *mil.Module, prog *lang.Program, info *lang.Info) {
+	srcPoints := map[string]lang.Point{}
+	for _, pt := range info.Points {
+		if _, dup := srcPoints[pt.Label]; !dup {
+			srcPoints[pt.Label] = pt
+		}
+	}
+
+	for i := range mod.ReconfigPoints {
+		spt := &mod.ReconfigPoints[i]
+		src, ok := srcPoints[spt.Label]
+		if !ok {
+			r.add(CodePointNoMarker, SevError, milPos(cfg.SpecFile, spt.Pos),
+				"specification point %s has no mh.ReconfigPoint(%q) marker in the source of module %s",
+				spt.Label, spt.Label, mod.Name)
+			continue
+		}
+		names := map[string]bool{}
+		for _, v := range info.FuncVars[src.Func] {
+			names[v.Name] = true
+		}
+		for _, v := range spt.Vars {
+			if !names[v] {
+				r.add(CodeUnknownStateVar, SevError, milPos(cfg.SpecFile, spt.Pos),
+					"state list for point %s names %s, which is not a parameter or local of %s",
+					spt.Label, v, src.Func)
+			}
+		}
+	}
+
+	for _, pt := range info.Points {
+		if mod.Point(pt.Label) == nil {
+			r.add(CodeMarkerNotInSpec, SevWarning, prog.Fset.Position(pt.Call.Pos()),
+				"source reconfiguration point %s is not declared in the specification of module %s",
+				pt.Label, mod.Name)
+		}
+	}
+
+	// Declared capture lists only matter under specification mode; the
+	// other modes derive the set and are sound by construction.
+	if effectiveMode(cfg, mod) != transform.CaptureSpec || !specHasVars(mod) {
+		return
+	}
+	checkCaptureSoundness(r, cfg, mod)
+}
+
+// checkCaptureSoundness re-runs the transform's analysis pipeline — flatten
+// the instrumented procedures, rebuild the reconfiguration graph, compute
+// liveness — and diffs each procedure's declared capture set against it.
+//
+// The soundness criterion is asymmetric, mirroring how restoration works
+// (Section 3). Restore re-issues the original calls, and each callee
+// restores its own frame, so what a frame must carry is exactly what is
+// live *after* each of the procedure's reconfiguration-graph edges: a live
+// variable missing there is unrecoverable state (MH006, error). A declared
+// variable, however, is not waste just because it is dead after an edge —
+// at a call edge it may exist to feed the re-issued call — so the dead
+// warning (MH007) requires the variable to be dead at the capture
+// *instant* of every edge: before each call, after each point marker.
+//
+// Liveness runs with MHOutParams so that runtime out-parameters
+// (mh.Read(iface, &x)) count as definitions: the paper's own Figure 2 list
+// {num, n, rp} — which omits temper — checks as sound.
+func checkCaptureSoundness(r *Report, cfg Config, mod *mil.Module) {
+	prog, err := lang.ParseFiles(cfg.Sources)
+	if err != nil {
+		return // reported as MH002 by the main pass
+	}
+	info, err := lang.Check(prog)
+	if err != nil {
+		return
+	}
+	g := callgraph.Build(prog)
+	rg, err := callgraph.BuildReconfig(g, info)
+	if err != nil {
+		return // no points / unreachable point: reported by placement
+	}
+	for _, name := range rg.Nodes {
+		if _, err := flatten.Function(prog, info, name); err != nil {
+			return
+		}
+	}
+	for _, name := range rg.Nodes {
+		flatten.PruneLabels(prog.Funcs[name].Decl, nil)
+	}
+	prog, info, err = lang.Reload(prog)
+	if err != nil {
+		return
+	}
+	g = callgraph.Build(prog)
+	rg, err = callgraph.BuildReconfig(g, info)
+	if err != nil {
+		return
+	}
+
+	pvars := pointVars(mod)
+	for _, name := range rg.Nodes {
+		edges := rg.EdgesFrom(name)
+
+		// The declared set is the union of the state lists of the
+		// procedure's specification points — the same rule the weaver
+		// applies in spec mode. Procedures without declared lists fall
+		// back to all-locals, which is always sound.
+		declared := map[string]bool{}
+		var order []string
+		var anchor token.Position
+		for _, e := range edges {
+			if !e.IsReconfig() {
+				continue
+			}
+			vars, ok := pvars[e.Point.Label]
+			if !ok {
+				continue
+			}
+			if !anchor.IsValid() && anchor.Filename == "" {
+				if spt := mod.Point(e.Point.Label); spt != nil {
+					anchor = milPos(cfg.SpecFile, spt.Pos)
+				}
+			}
+			for _, v := range vars {
+				if !declared[v] {
+					declared[v] = true
+					order = append(order, v)
+				}
+			}
+		}
+		if len(declared) == 0 {
+			continue
+		}
+
+		a, err := liveness.AnalyzeOpts(prog, info, name, liveness.Options{MHOutParams: true})
+		if err != nil {
+			continue
+		}
+
+		required := map[string]bool{} // must be captured: live after some edge
+		useful := map[string]bool{}   // read at some edge's capture instant
+		for _, e := range edges {
+			idx := edgeStmtIndex(a, prog, e)
+			if idx < 0 {
+				continue
+			}
+			for _, v := range a.LiveAfter(idx) {
+				required[v] = true
+			}
+			if e.IsReconfig() {
+				for _, v := range a.LiveAfter(idx) {
+					useful[v] = true
+				}
+			} else {
+				for _, v := range a.LiveBefore(idx) {
+					useful[v] = true
+				}
+			}
+		}
+
+		for _, v := range sortedKeys(required) {
+			if !declared[v] {
+				r.add(CodeCaptureMissing, SevError, anchor,
+					"procedure %s: variable %s is live at a reconfiguration edge but missing from the declared capture set {%s}; restoring from it would lose state",
+					name, v, joinVars(order))
+			}
+		}
+
+		procVars := map[string]bool{}
+		for _, v := range info.FuncVars[name] {
+			procVars[v.Name] = true
+		}
+		for _, v := range order {
+			if procVars[v] && !useful[v] {
+				r.add(CodeCaptureDead, SevWarning, anchor,
+					"procedure %s: captured variable %s is dead at every reconfiguration edge; capturing it only grows the abstract state",
+					name, v)
+			}
+		}
+	}
+}
+
+// edgeStmtIndex locates a reconfiguration-graph edge's statement in the
+// flattened body, matching the weaver's notion of where capture happens.
+func edgeStmtIndex(a *liveness.Analysis, prog *lang.Program, e callgraph.Edge) int {
+	if e.IsReconfig() {
+		return a.IndexOf(e.Point.Stmt)
+	}
+	for i, s := range a.Stmts {
+		if stmtCall(s, prog) == e.Call {
+			return i
+		}
+	}
+	return -1
+}
+
+// stmtCall extracts the module-procedure call from a flat statement, if
+// any (the same shapes the transform's weaver recognizes).
+func stmtCall(s ast.Stmt, prog *lang.Program) *ast.CallExpr {
+	switch st := s.(type) {
+	case *ast.LabeledStmt:
+		return stmtCall(st.Stmt, prog)
+	case *ast.ExprStmt:
+		if call, ok := st.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok {
+				if _, isFn := prog.Funcs[id.Name]; isFn {
+					return call
+				}
+			}
+		}
+	case *ast.AssignStmt:
+		if len(st.Rhs) == 1 {
+			if call, ok := st.Rhs[0].(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok {
+					if _, isFn := prog.Funcs[id.Name]; isFn {
+						return call
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func sortedKeys(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func joinVars(vars []string) string {
+	s := ""
+	for i, v := range vars {
+		if i > 0 {
+			s += ", "
+		}
+		s += v
+	}
+	return s
+}

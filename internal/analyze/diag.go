@@ -1,0 +1,221 @@
+// Package analyze is the static reconfiguration-safety analyzer: a
+// multi-pass diagnostics engine over a module's source, its configuration
+// specification, and (optionally) a proposed replacement module.
+//
+// The paper leaves two correctness obligations to the programmer: listing
+// the variables that comprise the process state at each reconfiguration
+// point (Section 3 notes data-flow analysis "could be used" and defers it)
+// and placing reconfiguration points so that replacement is not delayed
+// indefinitely (the Discussion's delay bounds). This package checks both
+// before the transform runs, plus the inter-module obligations the paper's
+// runtime would only discover mid-swap: binding type compatibility and
+// old/new abstract-state mapping compatibility.
+//
+// Every finding is a Diagnostic with a stable code, a severity, and a
+// source position; a Report renders as human text or JSON.
+package analyze
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Severity classifies a diagnostic.
+type Severity int
+
+// Severities. Errors make the configuration unsafe to transform; warnings
+// flag waste or delay risks that do not compromise soundness.
+const (
+	SevWarning Severity = iota + 1
+	SevError
+)
+
+// String implements fmt.Stringer.
+func (s Severity) String() string {
+	switch s {
+	case SevWarning:
+		return "warning"
+	case SevError:
+		return "error"
+	default:
+		return fmt.Sprintf("severity(%d)", int(s))
+	}
+}
+
+// MarshalJSON renders the severity as its lower-case name.
+func (s Severity) MarshalJSON() ([]byte, error) { return json.Marshal(s.String()) }
+
+// Diagnostic codes. Codes are stable across releases: tools may match on
+// them, and the README documents each one.
+const (
+	// CodeSpecInvalid: the MIL specification fails validation.
+	CodeSpecInvalid = "MH001"
+	// CodeSourceInvalid: the module source fails to parse or check.
+	CodeSourceInvalid = "MH002"
+	// CodePointNoMarker: a spec reconfiguration point has no source marker.
+	CodePointNoMarker = "MH003"
+	// CodeMarkerNotInSpec: a source marker is not declared in the spec.
+	CodeMarkerNotInSpec = "MH004"
+	// CodeUnknownStateVar: a spec state list names no variable of the
+	// procedure containing the point.
+	CodeUnknownStateVar = "MH005"
+	// CodeCaptureMissing: a live variable is missing from the declared
+	// capture set (restore would be unsound).
+	CodeCaptureMissing = "MH006"
+	// CodeCaptureDead: a declared capture variable is dead at every
+	// reconfiguration edge (wasted state).
+	CodeCaptureDead = "MH007"
+	// CodePointUnreachable: a reconfiguration point sits in a procedure
+	// unreachable from main.
+	CodePointUnreachable = "MH008"
+	// CodeCycleNoPoint: a reachable recursive cycle contains no
+	// reconfiguration point (unbounded reconfiguration delay).
+	CodeCycleNoPoint = "MH009"
+	// CodeNoPoints: the module declares no reconfiguration points at all.
+	CodeNoPoints = "MH010"
+	// CodeBindingMismatch: a binding connects interfaces whose message
+	// signatures disagree.
+	CodeBindingMismatch = "MH011"
+	// CodeUnknownMILType: a MIL interface names a message type the
+	// analyzer cannot map to an abstract-state kind.
+	CodeUnknownMILType = "MH012"
+	// CodeReplacementDropsProc: the replacement module lacks an
+	// instrumented procedure of the old module.
+	CodeReplacementDropsProc = "MH013"
+	// CodeReplacementShape: old and new capture sets for a procedure
+	// disagree in arity or type (the AR-stack frames cannot be mapped).
+	CodeReplacementShape = "MH014"
+	// CodeReplacementEdges: old and new reconfiguration graphs disagree
+	// on a procedure's edge numbers or point labels (resume locations
+	// would not align).
+	CodeReplacementEdges = "MH015"
+)
+
+// Diagnostic is one analyzer finding.
+type Diagnostic struct {
+	Code     string         `json:"code"`
+	Severity Severity       `json:"severity"`
+	Pos      token.Position `json:"-"`
+	Message  string         `json:"message"`
+}
+
+// String renders the diagnostic in the compiler-style text form.
+func (d Diagnostic) String() string {
+	if d.Pos.Filename != "" || d.Pos.IsValid() {
+		return fmt.Sprintf("%s: %s[%s]: %s", d.Pos, d.Severity, d.Code, d.Message)
+	}
+	return fmt.Sprintf("%s[%s]: %s", d.Severity, d.Code, d.Message)
+}
+
+// diagJSON is the stable wire form of a Diagnostic.
+type diagJSON struct {
+	Code     string   `json:"code"`
+	Severity Severity `json:"severity"`
+	File     string   `json:"file"`
+	Line     int      `json:"line"`
+	Col      int      `json:"col"`
+	Message  string   `json:"message"`
+}
+
+// Report collects the diagnostics of one analyzer run.
+type Report struct {
+	Diags []Diagnostic
+}
+
+func (r *Report) add(code string, sev Severity, pos token.Position, format string, args ...any) {
+	r.Diags = append(r.Diags, Diagnostic{
+		Code:     code,
+		Severity: sev,
+		Pos:      pos,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Sort orders diagnostics by file, line, column, then code, making both
+// renderings deterministic.
+func (r *Report) Sort() {
+	sort.SliceStable(r.Diags, func(i, j int) bool {
+		a, b := r.Diags[i], r.Diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Code != b.Code {
+			return a.Code < b.Code
+		}
+		return a.Message < b.Message
+	})
+}
+
+// HasErrors reports whether any diagnostic is an error.
+func (r *Report) HasErrors() bool {
+	for _, d := range r.Diags {
+		if d.Severity == SevError {
+			return true
+		}
+	}
+	return false
+}
+
+// Counts returns the number of errors and warnings.
+func (r *Report) Counts() (errors, warnings int) {
+	for _, d := range r.Diags {
+		if d.Severity == SevError {
+			errors++
+		} else {
+			warnings++
+		}
+	}
+	return errors, warnings
+}
+
+// Text renders the report as one line per diagnostic plus a summary line.
+func (r *Report) Text() string {
+	var b strings.Builder
+	for _, d := range r.Diags {
+		b.WriteString(d.String())
+		b.WriteByte('\n')
+	}
+	errs, warns := r.Counts()
+	if len(r.Diags) == 0 {
+		b.WriteString("ok: no diagnostics\n")
+	} else {
+		fmt.Fprintf(&b, "%d error(s), %d warning(s)\n", errs, warns)
+	}
+	return b.String()
+}
+
+// JSON renders the report in the stable machine-readable form.
+func (r *Report) JSON() string {
+	errs, warns := r.Counts()
+	out := struct {
+		Diagnostics []diagJSON `json:"diagnostics"`
+		Errors      int        `json:"errors"`
+		Warnings    int        `json:"warnings"`
+	}{Diagnostics: []diagJSON{}, Errors: errs, Warnings: warns}
+	for _, d := range r.Diags {
+		out.Diagnostics = append(out.Diagnostics, diagJSON{
+			Code:     d.Code,
+			Severity: d.Severity,
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Message:  d.Message,
+		})
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		// The structure contains only marshalable fields; this is
+		// unreachable but kept explicit.
+		return fmt.Sprintf(`{"error": %q}`, err.Error())
+	}
+	return string(data) + "\n"
+}

@@ -1,0 +1,70 @@
+package analyze
+
+import (
+	"go/token"
+	"strings"
+
+	"repro/internal/callgraph"
+	"repro/internal/lang"
+)
+
+// checkPlacement verifies reconfiguration-point placement on the original
+// (unflattened) program, where every diagnostic has a true source position:
+//
+//   - MH010: the module declares no points at all — it can never divulge
+//     state, so it can never be replaced while running;
+//   - MH008: a point sits in a procedure unreachable from main — it will
+//     never execute, and the transform refuses such programs;
+//   - MH009: a recursive cycle reachable from main contains no point — a
+//     computation stuck in that cycle delays reconfiguration indefinitely
+//     (the paper's Discussion bounds the delay by the time to the *next*
+//     point, which here never comes).
+func checkPlacement(r *Report, prog *lang.Program, info *lang.Info) {
+	if len(info.Points) == 0 {
+		r.add(CodeNoPoints, SevWarning, declPos(prog, "main"),
+			"module declares no reconfiguration points; it cannot be replaced while running")
+		return
+	}
+
+	g := callgraph.Build(prog)
+	reach := g.ReachableFrom("main")
+	for _, pt := range info.Points {
+		if !reach[pt.Func] {
+			r.add(CodePointUnreachable, SevError, prog.Fset.Position(pt.Call.Pos()),
+				"reconfiguration point %s is in %s, which is unreachable from main", pt.Label, pt.Func)
+		}
+	}
+
+	pointFuncs := map[string]bool{}
+	for _, pt := range info.Points {
+		pointFuncs[pt.Func] = true
+	}
+	for _, comp := range g.CyclicSCCs() {
+		// A strongly connected component is reachable iff any member is.
+		if !reach[comp[0]] {
+			continue
+		}
+		hasPoint := false
+		for _, fn := range comp {
+			if pointFuncs[fn] {
+				hasPoint = true
+				break
+			}
+		}
+		if hasPoint {
+			continue
+		}
+		r.add(CodeCycleNoPoint, SevWarning, declPos(prog, comp[0]),
+			"recursive cycle {%s} is reachable from main but contains no reconfiguration point; a computation inside it delays reconfiguration indefinitely",
+			strings.Join(comp, ", "))
+	}
+}
+
+// declPos returns the declaration position of a function, or a zero
+// position when it does not exist.
+func declPos(prog *lang.Program, fn string) token.Position {
+	if f, ok := prog.Funcs[fn]; ok && f.Decl != nil {
+		return prog.Fset.Position(f.Decl.Pos())
+	}
+	return token.Position{}
+}

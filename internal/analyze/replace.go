@@ -1,0 +1,189 @@
+package analyze
+
+import (
+	"errors"
+	"go/token"
+
+	"repro/internal/lang"
+	"repro/internal/mil"
+	"repro/internal/transform"
+)
+
+// checkReplacement verifies that a proposed replacement module can accept
+// the running module's abstract state (Section 4: the new version is
+// "prepared for replacement" with the *same* reconfiguration structure).
+// It runs the transform's analysis on both versions under the same options
+// and compares, procedure by procedure:
+//
+//   - MH013: every instrumented procedure of the old module must exist in
+//     the new one — its activation records name that procedure;
+//   - MH014: the capture sets must agree in arity and (deeply) in type, or
+//     a captured frame cannot be installed; a pure rename is a warning,
+//     because frames carry values positionally;
+//   - MH015: the procedure's reconfiguration-graph edge numbers and the
+//     module's point labels must match, or resume locations in restored
+//     frames would name different program points.
+func checkReplacement(r *Report, cfg Config, mod *mil.Module) {
+	opts := transform.Options{Mode: effectiveMode(cfg, mod)}
+	if mod != nil {
+		opts.PointVars = pointVars(mod)
+	}
+
+	oldOut, err := transform.Prepare(cfg.Sources, opts)
+	if err != nil {
+		// The old module's problems are reported by the other passes.
+		return
+	}
+	newOut, err := transform.Prepare(cfg.Replacement, opts)
+	if err != nil {
+		reportReplacementPrepare(r, err)
+		return
+	}
+
+	// Fresh parses give diagnostics true source positions; the transform
+	// output has flattened, rewoven bodies.
+	oldProg, _ := lang.ParseFiles(cfg.Sources)
+	newProg, _ := lang.ParseFiles(cfg.Replacement)
+
+	for _, name := range oldOut.Graph.Nodes {
+		oldFr := oldOut.Funcs[name]
+		newFr := newOut.Funcs[name]
+		if newFr == nil {
+			r.add(CodeReplacementDropsProc, SevError, replDeclPos(oldProg, name),
+				"replacement module has no instrumented procedure %s; its activation records cannot be mapped", name)
+			continue
+		}
+		pos := replDeclPos(newProg, name)
+		if len(oldFr.Captured) != len(newFr.Captured) {
+			r.add(CodeReplacementShape, SevError, pos,
+				"procedure %s: capture set has %d variable(s) but the replacement's has %d; frames cannot be installed",
+				name, len(oldFr.Captured), len(newFr.Captured))
+			continue
+		}
+		for i := range oldFr.Captured {
+			ov, nv := oldFr.Captured[i], newFr.Captured[i]
+			if !compatibleTypes(ov.Type, nv.Type) || ov.Pointer != nv.Pointer {
+				r.add(CodeReplacementShape, SevError, pos,
+					"procedure %s: capture slot %d is %s %s but %s %s in the replacement; the value cannot be converted",
+					name, i+1, ov.Name, describeVar(ov), nv.Name, describeVar(nv))
+				continue
+			}
+			if ov.Name != nv.Name {
+				r.add(CodeReplacementShape, SevWarning, pos,
+					"procedure %s: capture slot %d renames %s to %s; values transfer positionally but the mapping deserves review",
+					name, i+1, ov.Name, nv.Name)
+			}
+		}
+		if !sameInts(oldFr.Edges, newFr.Edges) {
+			r.add(CodeReplacementEdges, SevError, pos,
+				"procedure %s: reconfiguration edges %v differ from the replacement's %v; restored resume locations would not align",
+				name, oldFr.Edges, newFr.Edges)
+		}
+	}
+
+	oldLabels := pointLabels(oldOut)
+	newLabels := pointLabels(newOut)
+	for _, l := range oldLabels {
+		if !containsString(newLabels, l) {
+			r.add(CodeReplacementEdges, SevError, replDeclPos(newProg, "main"),
+				"replacement module drops reconfiguration point %s; state captured there has no installation site", l)
+		}
+	}
+}
+
+// reportReplacementPrepare surfaces a replacement module that the
+// transform itself rejects: unparseable source is MH002, a missing or
+// unreachable reconfiguration structure is MH015.
+func reportReplacementPrepare(r *Report, err error) {
+	var list lang.ErrorList
+	if errors.As(err, &list) {
+		for _, e := range list {
+			r.add(CodeSourceInvalid, SevError, e.Pos, "replacement: %s", e.Msg)
+		}
+		return
+	}
+	r.add(CodeReplacementEdges, SevError, token.Position{},
+		"replacement module cannot be prepared: %v", err)
+}
+
+// compatibleTypes reports deep structural compatibility of two
+// module-subset types. lang.Type.Equal compares named structs by name
+// only, so replacement checking walks the shape instead: a struct may be
+// renamed, but its fields must agree in name, order, and type for the
+// captured value to install.
+func compatibleTypes(a, b lang.Type) bool {
+	switch at := a.(type) {
+	case lang.Basic:
+		bb, ok := b.(lang.Basic)
+		return ok && at.B == bb.B
+	case lang.Slice:
+		bs, ok := b.(lang.Slice)
+		return ok && compatibleTypes(at.Elem, bs.Elem)
+	case lang.Pointer:
+		bp, ok := b.(lang.Pointer)
+		return ok && compatibleTypes(at.Elem, bp.Elem)
+	case *lang.Struct:
+		bst, ok := b.(*lang.Struct)
+		if !ok || len(at.Fields) != len(bst.Fields) {
+			return false
+		}
+		for i := range at.Fields {
+			if at.Fields[i].Name != bst.Fields[i].Name ||
+				!compatibleTypes(at.Fields[i].Type, bst.Fields[i].Type) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// describeVar renders a captured variable's type for diagnostics. A
+// pointer parameter's Type already carries the * (it is captured by
+// pointee value, restored through the pointer).
+func describeVar(v transform.CapturedVar) string {
+	return v.Type.String()
+}
+
+// replDeclPos returns a function's declaration position in a freshly
+// parsed program, tolerating a nil program (unparseable input).
+func replDeclPos(prog *lang.Program, fn string) token.Position {
+	if prog == nil {
+		return token.Position{}
+	}
+	return declPos(prog, fn)
+}
+
+// pointLabels lists the reconfiguration point labels of a prepared module.
+// The woven output replaces the markers, so the labels come from the
+// reconfiguration graph's edges.
+func pointLabels(out *transform.Output) []string {
+	var labels []string
+	for _, e := range out.Graph.Edges {
+		if e.IsReconfig() && !containsString(labels, e.Point.Label) {
+			labels = append(labels, e.Point.Label)
+		}
+	}
+	return labels
+}
+
+func sameInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func containsString(list []string, s string) bool {
+	for _, x := range list {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}

@@ -141,6 +141,110 @@ func (g *Graph) Recursive(name string) bool {
 	return false
 }
 
+// CyclicSCCs returns the strongly connected components of the call graph
+// that contain a cycle: components with more than one member, plus
+// single-function components with a self-call. Members are listed in
+// declaration order and components are ordered by their first member's
+// declaration position, so the output is deterministic.
+func (g *Graph) CyclicSCCs() [][]string {
+	order := map[string]int{}
+	for i, n := range g.Nodes {
+		order[n] = i
+	}
+	succs := map[string][]string{}
+	for _, c := range g.Calls {
+		if _, ok := order[c.Callee]; ok {
+			succs[c.Caller] = append(succs[c.Caller], c.Callee)
+		}
+	}
+
+	// Tarjan's algorithm, iterative to keep deep chains off the Go stack.
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	next := 0
+	var sccs [][]string
+
+	type frame struct {
+		node string
+		succ int
+	}
+	for _, root := range g.Nodes {
+		if _, seen := index[root]; seen {
+			continue
+		}
+		work := []frame{{node: root}}
+		for len(work) > 0 {
+			fr := &work[len(work)-1]
+			n := fr.node
+			if fr.succ == 0 {
+				index[n] = next
+				low[n] = next
+				next++
+				stack = append(stack, n)
+				onStack[n] = true
+			}
+			advanced := false
+			for fr.succ < len(succs[n]) {
+				m := succs[n][fr.succ]
+				fr.succ++
+				if _, seen := index[m]; !seen {
+					work = append(work, frame{node: m})
+					advanced = true
+					break
+				}
+				if onStack[m] && index[m] < low[n] {
+					low[n] = index[m]
+				}
+			}
+			if advanced {
+				continue
+			}
+			// All successors done: pop and propagate the low link.
+			if low[n] == index[n] {
+				var comp []string
+				for {
+					m := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[m] = false
+					comp = append(comp, m)
+					if m == n {
+						break
+					}
+				}
+				if g.sccCyclic(comp) {
+					sort.Slice(comp, func(i, j int) bool { return order[comp[i]] < order[comp[j]] })
+					sccs = append(sccs, comp)
+				}
+			}
+			work = work[:len(work)-1]
+			if len(work) > 0 {
+				parent := work[len(work)-1].node
+				if low[n] < low[parent] {
+					low[parent] = low[n]
+				}
+			}
+		}
+	}
+	sort.Slice(sccs, func(i, j int) bool { return order[sccs[i][0]] < order[sccs[j][0]] })
+	return sccs
+}
+
+// sccCyclic reports whether a component contains a cycle: any component of
+// two or more nodes does; a singleton only if it calls itself.
+func (g *Graph) sccCyclic(comp []string) bool {
+	if len(comp) > 1 {
+		return true
+	}
+	for _, c := range g.Calls {
+		if c.Caller == comp[0] && c.Callee == comp[0] {
+			return true
+		}
+	}
+	return false
+}
+
 // ReconfigNode is the name of the synthetic node every reconfiguration
 // point has an edge to.
 const ReconfigNode = "reconfig"

@@ -1,6 +1,7 @@
 package callgraph
 
 import (
+	"fmt"
 	"reflect"
 	"strings"
 	"testing"
@@ -298,5 +299,71 @@ func TestRGraphString(t *testing.T) {
 		if !strings.Contains(s, want) {
 			t.Errorf("String missing %q:\n%s", want, s)
 		}
+	}
+}
+
+func TestCyclicSCCs(t *testing.T) {
+	_, _, g := load(t, `package p
+
+func main() {
+	solo()
+	ping(3)
+	deep(2)
+}
+
+func solo() { solo() }
+
+func ping(n int) {
+	if n > 0 {
+		pong(n - 1)
+	}
+}
+
+func pong(n int) { ping(n) }
+
+func deep(n int) {
+	mid(n)
+}
+
+func mid(n int) {
+	if n > 0 {
+		deep(n - 1)
+	}
+	leaf()
+}
+
+func leaf() {}
+`)
+	got := g.CyclicSCCs()
+	want := [][]string{
+		{"solo"},
+		{"ping", "pong"},
+		{"deep", "mid"},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("CyclicSCCs = %v, want %v", got, want)
+	}
+}
+
+func TestCyclicSCCsAcyclic(t *testing.T) {
+	_, _, g := load(t, figure6Src)
+	if got := g.CyclicSCCs(); len(got) != 0 {
+		t.Errorf("acyclic graph reported cycles: %v", got)
+	}
+}
+
+func TestCyclicSCCsDeepChain(t *testing.T) {
+	// A long call chain ending in a self-loop: the iterative Tarjan must
+	// neither overflow nor mis-propagate low links through the chain.
+	var b strings.Builder
+	b.WriteString("package p\n\nfunc main() { f0() }\n")
+	for i := 0; i < 200; i++ {
+		fmt.Fprintf(&b, "func f%d() { f%d() }\n", i, i+1)
+	}
+	b.WriteString("func f200() { f200() }\n")
+	_, _, g := load(t, b.String())
+	got := g.CyclicSCCs()
+	if !reflect.DeepEqual(got, [][]string{{"f200"}}) {
+		t.Errorf("CyclicSCCs = %v, want [[f200]]", got)
 	}
 }

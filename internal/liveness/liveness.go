@@ -31,6 +31,20 @@ import (
 	"repro/internal/lang"
 )
 
+// Options tunes the analysis precision.
+type Options struct {
+	// MHOutParams models the participation runtime's out-parameters
+	// precisely: an `&x` argument in an out-parameter position of an mh
+	// primitive (mh.Read(iface, &x)) is a *definition* of x, not a use,
+	// and does not pin x as address-taken (the runtime fills the pointee
+	// and does not retain the address). The transform keeps the
+	// conservative default; the static analyzer (internal/analyze) enables
+	// this so that capture lists like the paper's Figure 2 {num, n, rp} —
+	// which omit variables refilled by the re-executed mh.Read — check as
+	// sound.
+	MHOutParams bool
+}
+
 // Analysis holds per-statement liveness for one flattened procedure.
 type Analysis struct {
 	Fn    *lang.Func
@@ -40,15 +54,22 @@ type Analysis struct {
 	liveOut []map[string]bool
 	pinned  map[string]bool // address-taken variables
 	index   map[ast.Stmt]int
+	opts    Options
 }
 
-// Analyze computes liveness for the named (flattened) function.
+// Analyze computes liveness for the named (flattened) function with the
+// default (conservative) options.
 func Analyze(prog *lang.Program, info *lang.Info, name string) (*Analysis, error) {
+	return AnalyzeOpts(prog, info, name, Options{})
+}
+
+// AnalyzeOpts computes liveness for the named (flattened) function.
+func AnalyzeOpts(prog *lang.Program, info *lang.Info, name string, opts Options) (*Analysis, error) {
 	fn, ok := prog.Funcs[name]
 	if !ok {
 		return nil, fmt.Errorf("liveness: no function %s", name)
 	}
-	a := &Analysis{Fn: fn, pinned: map[string]bool{}, index: map[ast.Stmt]int{}}
+	a := &Analysis{Fn: fn, pinned: map[string]bool{}, index: map[ast.Stmt]int{}, opts: opts}
 
 	// Collect top-level statements and label targets.
 	labels := map[string]int{}
@@ -67,10 +88,27 @@ func Analyze(prog *lang.Program, info *lang.Info, name string) (*Analysis, error
 		a.Stmts = append(a.Stmts, inner)
 	}
 
-	// Address-taken pinning.
+	// Address-taken pinning. With MHOutParams, `&x` directly in an
+	// out-parameter slot of an mh primitive does not pin: the runtime
+	// writes the pointee and never retains the address.
+	exempt := map[*ast.UnaryExpr]bool{}
+	if opts.MHOutParams {
+		ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for _, arg := range mhOutParamArgs(call) {
+				if ue, ok := arg.(*ast.UnaryExpr); ok && ue.Op == token.AND {
+					exempt[ue] = true
+				}
+			}
+			return true
+		})
+	}
 	ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
 		ue, ok := n.(*ast.UnaryExpr)
-		if !ok || ue.Op != token.AND {
+		if !ok || ue.Op != token.AND || exempt[ue] {
 			return true
 		}
 		if base := baseIdent(ue.X); base != nil {
@@ -94,7 +132,7 @@ func Analyze(prog *lang.Program, info *lang.Info, name string) (*Analysis, error
 	use := make([]map[string]bool, n)
 	def := make([]map[string]bool, n)
 	for i, s := range a.Stmts {
-		use[i], def[i] = usesAndDefs(info, s)
+		use[i], def[i] = usesAndDefs(info, s, opts)
 	}
 
 	a.liveIn = make([]map[string]bool, n)
@@ -187,7 +225,7 @@ func successors(s ast.Stmt, i, n int, labels map[string]int) ([]int, error) {
 
 // usesAndDefs extracts the used and defined variables of one flat
 // statement.
-func usesAndDefs(info *lang.Info, s ast.Stmt) (use, def map[string]bool) {
+func usesAndDefs(info *lang.Info, s ast.Stmt, opts Options) (use, def map[string]bool) {
 	use = map[string]bool{}
 	def = map[string]bool{}
 	addUses := func(e ast.Expr) {
@@ -195,6 +233,13 @@ func usesAndDefs(info *lang.Info, s ast.Stmt) (use, def map[string]bool) {
 			return
 		}
 		ast.Inspect(e, func(n ast.Node) bool {
+			if opts.MHOutParams {
+				if call, ok := n.(*ast.CallExpr); ok {
+					if outDefs := mhCallUsesAndDefs(info, call, use, def); outDefs {
+						return false
+					}
+				}
+			}
 			if id, ok := n.(*ast.Ident); ok {
 				if d := info.VarOf(id); d != nil {
 					use[d.Name] = true
@@ -247,7 +292,7 @@ func usesAndDefs(info *lang.Info, s ast.Stmt) (use, def map[string]bool) {
 	case *ast.IfStmt:
 		addUses(st.Cond)
 		for _, inner := range st.Body.List {
-			u, _ := usesAndDefs(info, inner)
+			u, _ := usesAndDefs(info, inner, opts)
 			for v := range u {
 				use[v] = true
 			}
@@ -273,6 +318,70 @@ func usesAndDefs(info *lang.Info, s ast.Stmt) (use, def map[string]bool) {
 		}
 	}
 	return use, def
+}
+
+// mhOutParamArgs returns the arguments of an mh-primitive call that the
+// runtime writes through (out-parameters): mh.Read(iface, &x...) fills
+// every argument after the interface name; mh.Restore(fn, format, &loc,
+// &vars...) fills everything after the format string. Returns nil for any
+// other call.
+func mhOutParamArgs(call *ast.CallExpr) []ast.Expr {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	recv, ok := sel.X.(*ast.Ident)
+	if !ok || recv.Name != lang.MHName {
+		return nil
+	}
+	switch sel.Sel.Name {
+	case "Read":
+		if len(call.Args) > 1 {
+			return call.Args[1:]
+		}
+	case "Restore":
+		if len(call.Args) > 2 {
+			return call.Args[2:]
+		}
+	}
+	return nil
+}
+
+// mhCallUsesAndDefs handles an mh call with out-parameters: `&x` in an
+// out slot is a definition of x; every other argument contributes uses.
+// Out-arguments that are not a plain `&ident` (e.g. &x.f, &x[i]) are
+// partial updates and count as uses of the base variable. Reports whether
+// the call was handled (true only for out-parameter primitives).
+func mhCallUsesAndDefs(info *lang.Info, call *ast.CallExpr, use, def map[string]bool) bool {
+	outs := mhOutParamArgs(call)
+	if outs == nil {
+		return false
+	}
+	isOut := map[ast.Expr]bool{}
+	for _, o := range outs {
+		isOut[o] = true
+	}
+	for _, arg := range call.Args {
+		if isOut[arg] {
+			if ue, ok := arg.(*ast.UnaryExpr); ok && ue.Op == token.AND {
+				if id, ok := ue.X.(*ast.Ident); ok {
+					if d := info.VarOf(id); d != nil {
+						def[d.Name] = true
+					}
+					continue
+				}
+			}
+		}
+		ast.Inspect(arg, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if d := info.VarOf(id); d != nil {
+					use[d.Name] = true
+				}
+			}
+			return true
+		})
+	}
+	return true
 }
 
 func baseIdent(e ast.Expr) *ast.Ident {

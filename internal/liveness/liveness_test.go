@@ -364,6 +364,112 @@ func main() { mh.Init() }
 	}
 }
 
+func TestMHOutParamOption(t *testing.T) {
+	prog, info := loadFlat(t, `package p
+func main() { work(3) }
+func work(n int) {
+	var temper int
+	mh.ReconfigPoint("R")
+	mh.Read("sensor", &temper)
+	mh.Write("out", temper+n)
+}
+`)
+	// Default (transform) semantics: &temper counts as a use and pins
+	// temper, so it appears in the capture set at R.
+	a, err := Analyze(prog, info, "work")
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := markerIndex(t, a, info, "work")
+	if live := a.LiveAfter(idx); !reflect.DeepEqual(live, []string{"n", "temper"}) {
+		t.Errorf("default live at R = %v, want [n temper]", live)
+	}
+	if !a.Pinned("temper") {
+		t.Error("default analysis should pin temper")
+	}
+
+	// With MHOutParams the mh.Read out-argument is a definition: temper is
+	// neither pinned nor live across the point.
+	ao, err := AnalyzeOpts(prog, info, "work", Options{MHOutParams: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx = markerIndex(t, ao, info, "work")
+	if live := ao.LiveAfter(idx); !reflect.DeepEqual(live, []string{"n"}) {
+		t.Errorf("MHOutParams live at R = %v, want [n]", live)
+	}
+	if ao.Pinned("temper") {
+		t.Error("MHOutParams analysis should not pin temper")
+	}
+}
+
+func TestMHOutParamExemptsOnlyMHCalls(t *testing.T) {
+	// The exemption is scoped to mh out-parameter slots: an address that
+	// also escapes to an ordinary call stays pinned.
+	prog, info := loadFlat(t, `package p
+func main() { work() }
+func work() {
+	var x int
+	bump(&x)
+	mh.ReconfigPoint("R")
+	mh.Read("in", &x)
+	mh.Write("out", x)
+}
+func bump(p *int) { *p = *p + 1 }
+`)
+	ao, err := AnalyzeOpts(prog, info, "work", Options{MHOutParams: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ao.Pinned("x") {
+		t.Error("x escapes via bump(&x) and must stay pinned")
+	}
+}
+
+func TestGotoIntoLoopBody(t *testing.T) {
+	// A goto that jumps into a loop body exercises label resolution across
+	// the lowered loop: the back edge and the entry edge must both reach
+	// Body, keeping the loop-carried state live at the jump.
+	prog, info := loadFlat(t, `package p
+func main() { work() }
+func work() {
+	x := 1
+	s := 0
+	i := 0
+	goto Body
+	for i = 0; i < 3; i = i + 1 {
+	Body:
+		s = s + x
+	}
+	mh.ReconfigPoint("R")
+	mh.Write("out", s)
+}
+`)
+	a, err := Analyze(prog, info, "work")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotoIdx := -1
+	for i, s := range a.Stmts {
+		if br, ok := s.(*ast.BranchStmt); ok && br.Label != nil && br.Label.Name == "Body" {
+			gotoIdx = i
+			break
+		}
+	}
+	if gotoIdx < 0 {
+		t.Fatal("goto Body not found in flat list")
+	}
+	// Entering at Body runs s = s + x, then the post statement and the
+	// condition: all three variables are live at the jump.
+	if live := a.LiveBefore(gotoIdx); !reflect.DeepEqual(live, []string{"i", "s", "x"}) {
+		t.Errorf("live before goto = %v, want [i s x]", live)
+	}
+	idx := markerIndex(t, a, info, "work")
+	if live := a.LiveAfter(idx); !reflect.DeepEqual(live, []string{"s"}) {
+		t.Errorf("live at R = %v, want [s]", live)
+	}
+}
+
 func TestStringsSortedDeterministic(t *testing.T) {
 	prog, info := loadFlat(t, `package p
 func main() { work() }

@@ -456,3 +456,34 @@ module app { instance w :: instance u :: bind "w out" "u in" }`
 		t.Errorf("Machines = %v", got)
 	}
 }
+
+func TestValidateReportsAll(t *testing.T) {
+	// One pass surfaces every problem: a missing source, a duplicate
+	// interface, an unknown module, and an unknown bind instance.
+	src := `
+module a { use interface x :: use interface x :: }
+module app { instance ghost :: bind "nope out" "ghost in" }`
+	_, err := ParseAndValidate(src)
+	if err == nil {
+		t.Fatal("validation passed")
+	}
+	var list ErrorList
+	if !errors.As(err, &list) {
+		t.Fatalf("error %T is not an ErrorList", err)
+	}
+	if len(list) != 4 {
+		t.Fatalf("got %d errors, want 4: %v", len(list), list)
+	}
+	for _, pe := range list {
+		if pe.Pos.Line == 0 {
+			t.Errorf("error %v has no position", pe)
+		}
+	}
+	// Distinct sentinels from the same run both match.
+	if !errors.Is(err, ErrUnknownModule) || !errors.Is(err, ErrUnknownInstance) {
+		t.Errorf("sentinels not all matched in %v", err)
+	}
+	if !strings.Contains(err.Error(), "and 3 more errors") {
+		t.Errorf("Error() = %q", err.Error())
+	}
+}

@@ -1,6 +1,9 @@
 package mil
 
-import "errors"
+import (
+	"errors"
+	"fmt"
+)
 
 // Validation errors callers may match on.
 var (
@@ -15,6 +18,31 @@ var (
 	ErrDirection = errors.New("mil: binding direction mismatch")
 )
 
+// ErrorList is every problem found in one Validate run, in source order.
+// It satisfies error, and errors.Is / errors.As search all entries, so
+// callers matching a single sentinel keep working.
+type ErrorList []*ParseError
+
+// Error implements error.
+func (l ErrorList) Error() string {
+	switch len(l) {
+	case 0:
+		return "mil: no errors"
+	case 1:
+		return l[0].Error()
+	}
+	return fmt.Sprintf("%s (and %d more errors)", l[0].Error(), len(l)-1)
+}
+
+// Unwrap exposes every collected error for errors.Is / errors.As.
+func (l ErrorList) Unwrap() []error {
+	out := make([]error, len(l))
+	for i, e := range l {
+		out[i] = e
+	}
+	return out
+}
+
 // Validate checks the structural consistency of a specification:
 //
 //   - module and application names are unique, instances are unique;
@@ -23,110 +51,126 @@ var (
 //   - at least one side of each binding sends and at least one receives;
 //   - interface names are unique within a module; reconfiguration point
 //     labels are unique within a module; modules have a source.
+//
+// All problems are reported in one pass: the returned error, when non-nil,
+// is an ErrorList carrying a position for every finding.
 func Validate(spec *Spec) error {
+	var errs ErrorList
+	add := func(err error) {
+		var pe *ParseError
+		if errors.As(err, &pe) {
+			errs = append(errs, pe)
+		}
+	}
 	modNames := map[string]bool{}
 	for _, m := range spec.Modules {
 		if modNames[m.Name] {
-			return errAt(m.Pos, "duplicate module %s", m.Name)
+			add(errAt(m.Pos, "duplicate module %s", m.Name))
 		}
 		modNames[m.Name] = true
-		if err := validateModule(m); err != nil {
-			return err
-		}
+		validateModule(m, add)
 	}
 	appNames := map[string]bool{}
 	for _, a := range spec.Applications {
 		if appNames[a.Name] || modNames[a.Name] {
-			return errAt(a.Pos, "duplicate application %s", a.Name)
+			add(errAt(a.Pos, "duplicate application %s", a.Name))
 		}
 		appNames[a.Name] = true
-		if err := validateApplication(spec, a); err != nil {
-			return err
-		}
+		validateApplication(spec, a, add)
 	}
-	return nil
+	if len(errs) == 0 {
+		return nil
+	}
+	return errs
 }
 
-func validateModule(m *Module) error {
+func validateModule(m *Module, add func(error)) {
 	if m.Source == "" {
-		return errAt(m.Pos, "module %s has no source attribute", m.Name)
+		add(errAt(m.Pos, "module %s has no source attribute", m.Name))
 	}
 	ifaceNames := map[string]bool{}
 	for _, ifc := range m.Interfaces {
 		if ifaceNames[ifc.Name] {
-			return errAt(ifc.Pos, "module %s: duplicate interface %s", m.Name, ifc.Name)
+			add(errAt(ifc.Pos, "module %s: duplicate interface %s", m.Name, ifc.Name))
 		}
 		ifaceNames[ifc.Name] = true
 		if ifc.Role == RoleServer && len(ifc.Returns) == 0 {
-			return errAt(ifc.Pos, "module %s: server interface %s declares no returns", m.Name, ifc.Name)
+			add(errAt(ifc.Pos, "module %s: server interface %s declares no returns", m.Name, ifc.Name))
 		}
 		if ifc.Role == RoleClient && len(ifc.Accepts) == 0 {
-			return errAt(ifc.Pos, "module %s: client interface %s declares no accepts", m.Name, ifc.Name)
+			add(errAt(ifc.Pos, "module %s: client interface %s declares no accepts", m.Name, ifc.Name))
 		}
 	}
 	labels := map[string]bool{}
 	for _, pt := range m.ReconfigPoints {
 		if labels[pt.Label] {
-			return errAt(pt.Pos, "module %s: duplicate reconfiguration point %s", m.Name, pt.Label)
+			add(errAt(pt.Pos, "module %s: duplicate reconfiguration point %s", m.Name, pt.Label))
 		}
 		labels[pt.Label] = true
 		seen := map[string]bool{}
 		for _, v := range pt.Vars {
 			if seen[v] {
-				return errAt(pt.Pos, "module %s point %s: duplicate state variable %s", m.Name, pt.Label, v)
+				add(errAt(pt.Pos, "module %s point %s: duplicate state variable %s", m.Name, pt.Label, v))
 			}
 			seen[v] = true
 		}
 	}
-	return nil
 }
 
-func validateApplication(spec *Spec, a *Application) error {
+func validateApplication(spec *Spec, a *Application, add func(error)) {
 	if len(a.Instances) == 0 {
-		return errAt(a.Pos, "application %s has no instances", a.Name)
+		add(errAt(a.Pos, "application %s has no instances", a.Name))
 	}
 	instByName := map[string]*Instance{}
 	for _, in := range a.Instances {
 		if _, dup := instByName[in.Name]; dup {
-			return errAt(in.Pos, "application %s: duplicate instance %s", a.Name, in.Name)
+			add(errAt(in.Pos, "application %s: duplicate instance %s", a.Name, in.Name))
+			continue
 		}
 		if spec.Module(in.Module) == nil {
-			return wrapAt(in.Pos, ErrUnknownModule, "application %s instance %s uses module %s",
-				a.Name, in.Name, in.Module)
+			add(wrapAt(in.Pos, ErrUnknownModule, "application %s instance %s uses module %s",
+				a.Name, in.Name, in.Module))
 		}
+		// Record the instance even when its module is unknown so its
+		// bindings don't cascade into spurious unknown-instance errors.
 		instByName[in.Name] = in
 	}
 	for _, b := range a.Binds {
-		fromIfc, err := resolveEndpoint(spec, a, instByName, b.From, b.Pos)
-		if err != nil {
-			return err
-		}
-		toIfc, err := resolveEndpoint(spec, a, instByName, b.To, b.Pos)
-		if err != nil {
-			return err
+		fromIfc := resolveEndpoint(spec, a, instByName, b.From, b.Pos, add)
+		toIfc := resolveEndpoint(spec, a, instByName, b.To, b.Pos, add)
+		if fromIfc == nil || toIfc == nil {
+			continue
 		}
 		if !fromIfc.Role.Sends() && !toIfc.Role.Sends() {
-			return wrapAt(b.Pos, ErrDirection, "neither %s (%s) nor %s (%s) can send",
-				b.From, fromIfc.Role, b.To, toIfc.Role)
+			add(wrapAt(b.Pos, ErrDirection, "neither %s (%s) nor %s (%s) can send",
+				b.From, fromIfc.Role, b.To, toIfc.Role))
 		}
 		if !fromIfc.Role.Receives() && !toIfc.Role.Receives() {
-			return wrapAt(b.Pos, ErrDirection, "neither %s (%s) nor %s (%s) can receive",
-				b.From, fromIfc.Role, b.To, toIfc.Role)
+			add(wrapAt(b.Pos, ErrDirection, "neither %s (%s) nor %s (%s) can receive",
+				b.From, fromIfc.Role, b.To, toIfc.Role))
 		}
 	}
-	return nil
 }
 
-func resolveEndpoint(spec *Spec, a *Application, insts map[string]*Instance, e Endpoint, pos Pos) (*Interface, error) {
+// resolveEndpoint returns the interface an endpoint names, or nil after
+// reporting why it cannot be resolved. An instance whose module is unknown
+// resolves to nil silently — the instance declaration already carries the
+// error.
+func resolveEndpoint(spec *Spec, a *Application, insts map[string]*Instance, e Endpoint, pos Pos, add func(error)) *Interface {
 	in, ok := insts[e.Instance]
 	if !ok {
-		return nil, wrapAt(pos, ErrUnknownInstance, "application %s binds %q", a.Name, e)
+		add(wrapAt(pos, ErrUnknownInstance, "application %s binds %q", a.Name, e))
+		return nil
 	}
 	mod := spec.Module(in.Module)
+	if mod == nil {
+		return nil
+	}
 	ifc := mod.Interface(e.Interface)
 	if ifc == nil {
-		return nil, wrapAt(pos, ErrUnknownInterface, "module %s (instance %s) has no interface %s",
-			mod.Name, e.Instance, e.Interface)
+		add(wrapAt(pos, ErrUnknownInterface, "module %s (instance %s) has no interface %s",
+			mod.Name, e.Instance, e.Interface))
+		return nil
 	}
-	return ifc, nil
+	return ifc
 }

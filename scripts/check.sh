@@ -1,0 +1,16 @@
+#!/bin/sh
+# Tier-2 verification: static vetting plus race-detector runs of the
+# concurrency-heavy packages (the message bus and the quiescence
+# protocol). Tier-1 (go build ./... && go test ./...) stays the gate for
+# every change; run this before touching the runtime or shipping a PR.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go test -race ./internal/bus/... ./internal/quiesce/..."
+go test -race ./internal/bus/... ./internal/quiesce/...
+
+echo "ok"
