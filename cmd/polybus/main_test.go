@@ -90,7 +90,7 @@ func TestPolybusServesAndIsControllable(t *testing.T) {
 
 	// Migrate compute while the application serves.
 	time.Sleep(100 * time.Millisecond)
-	if err := client.Move("compute", "compute2", "machineB"); err != nil {
+	if _, err := client.Move("compute", "compute2", "machineB"); err != nil {
 		t.Fatalf("remote move: %v", err)
 	}
 	topo, err = client.Topology()

@@ -3,13 +3,20 @@
 //
 //	reconfigctl -addr 127.0.0.1:7008 topology
 //	reconfigctl -addr 127.0.0.1:7008 instances
-//	reconfigctl -addr 127.0.0.1:7008 move <inst> <newName> <machine>
-//	reconfigctl -addr 127.0.0.1:7008 replace <inst> <newName> [machine] [module]
-//	reconfigctl -addr 127.0.0.1:7008 update <inst> <newName> <module>
+//	reconfigctl -addr 127.0.0.1:7008 [-dry-run] move <inst> <newName> <machine>
+//	reconfigctl -addr 127.0.0.1:7008 [-dry-run] replace <inst> <newName> [machine] [module]
+//	reconfigctl -addr 127.0.0.1:7008 [-dry-run] update <inst> <newName> <module>
 //	reconfigctl -addr 127.0.0.1:7008 replicate <inst> <newName> [machine]
 //	reconfigctl -addr 127.0.0.1:7008 remove <inst>
 //	reconfigctl -addr 127.0.0.1:7008 trace
 //	reconfigctl -addr 127.0.0.1:7008 stats
+//
+// The replacement-family commands (move, replace, update) run as a
+// transaction on the application side: every primitive journals a
+// compensating inverse, and a failure at any step rolls the system back
+// to its pre-reconfiguration state. The transaction's step trace — and,
+// on failure, the rollback report — is printed after the command. With
+// -dry-run the planned step sequence is printed without executing it.
 package main
 
 import (
@@ -33,6 +40,7 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("reconfigctl", flag.ContinueOnError)
 	addr := fs.String("addr", "127.0.0.1:7008", "control plane address")
 	timeout := fs.Duration("timeout", 5*time.Second, "dial timeout")
+	dryRun := fs.Bool("dry-run", false, "print the replacement plan without executing it (move/replace/update)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -59,6 +67,25 @@ func run(args []string) error {
 		}
 		return nil
 	}
+	// plan prints the step sequence a replacement-family command would run.
+	plan := func(inst, newName, machine, module string) error {
+		steps, err := c.Plan(inst, newName, machine, module)
+		if err != nil {
+			return err
+		}
+		fmt.Println("plan (dry run, nothing executed):")
+		for _, s := range steps {
+			fmt.Println(" ", s)
+		}
+		return nil
+	}
+	// report prints the transaction trace, then surfaces the script error.
+	report := func(tx *reconf.TxReport, err error) error {
+		if tx != nil {
+			fmt.Print(tx.Format())
+		}
+		return err
+	}
 
 	switch rest[0] {
 	case "topology":
@@ -77,7 +104,10 @@ func run(args []string) error {
 		if err := need(3); err != nil {
 			return err
 		}
-		if err := c.Move(arg(1), arg(2), arg(3)); err != nil {
+		if *dryRun {
+			return plan(arg(1), arg(2), arg(3), "")
+		}
+		if err := report(c.Move(arg(1), arg(2), arg(3))); err != nil {
 			return err
 		}
 		fmt.Println("moved", arg(1), "->", arg(2), "on", arg(3))
@@ -85,7 +115,10 @@ func run(args []string) error {
 		if err := need(2); err != nil {
 			return err
 		}
-		if err := c.Replace(arg(1), arg(2), arg(3), arg(4)); err != nil {
+		if *dryRun {
+			return plan(arg(1), arg(2), arg(3), arg(4))
+		}
+		if err := report(c.Replace(arg(1), arg(2), arg(3), arg(4))); err != nil {
 			return err
 		}
 		fmt.Println("replaced", arg(1), "->", arg(2))
@@ -93,7 +126,10 @@ func run(args []string) error {
 		if err := need(3); err != nil {
 			return err
 		}
-		if err := c.Update(arg(1), arg(2), arg(3)); err != nil {
+		if *dryRun {
+			return plan(arg(1), arg(2), "", arg(3))
+		}
+		if err := report(c.Update(arg(1), arg(2), arg(3))); err != nil {
 			return err
 		}
 		fmt.Println("updated", arg(1), "->", arg(2), "running module", arg(3))

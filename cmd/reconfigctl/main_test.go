@@ -48,6 +48,7 @@ func TestReconfigctlCommands(t *testing.T) {
 		{"-addr", addr, "instances"},
 		{"-addr", addr, "stats"},
 		{"-addr", addr, "trace"},
+		{"-addr", addr, "-dry-run", "move", "compute", "compute2", "machineB"},
 		{"-addr", addr, "move", "compute", "compute2", "machineB"},
 		{"-addr", addr, "trace"},
 		{"-addr", addr, "replicate", "compute2", "computeB", "machineC"},
@@ -69,6 +70,7 @@ func TestReconfigctlCommands(t *testing.T) {
 		{"-addr", addr, "replace", "x"},        // missing args
 		{"-addr", addr, "replicate", "x"},      // missing args
 		{"-addr", "127.0.0.1:1", "topology"},   // dead server
+		{"-addr", addr, "-dry-run", "move", "g", "h", "m"}, // plan for unknown instance
 	}
 	for _, args := range bad {
 		if err := run(args); err == nil {

@@ -16,7 +16,7 @@ import (
 // one gob-framed request/response pair per operation.
 
 type ctlRequest struct {
-	Op      string // topology|instances|move|replace|update|replicate|remove|trace|stats
+	Op      string // topology|instances|move|replace|update|replicate|remove|plan|trace|stats
 	Inst    string
 	NewName string
 	Machine string
@@ -27,6 +27,66 @@ type ctlResponse struct {
 	Err  string
 	Text string
 	List []string
+	Tx   *TxReport // replacement ops: the transaction's step/rollback report
+}
+
+// TxReport mirrors reconfig.TxResult across the control connection: the
+// forward step trace, whether the transaction committed, and the
+// compensations replayed if it rolled back.
+type TxReport struct {
+	Steps      []string
+	Committed  bool
+	RolledBack bool
+	Rollback   []TxRollbackStep
+	Err        string
+}
+
+// TxRollbackStep is one compensation of a rolled-back transaction.
+type TxRollbackStep struct {
+	Action string
+	Err    string
+}
+
+func txReport(res *reconfig.TxResult) *TxReport {
+	if res == nil {
+		return nil
+	}
+	r := &TxReport{Steps: res.Steps, Committed: res.Committed, RolledBack: res.RolledBack}
+	for _, s := range res.Rollback {
+		r.Rollback = append(r.Rollback, TxRollbackStep{Action: s.Action, Err: s.Err})
+	}
+	if res.Err != nil {
+		r.Err = res.Err.Error()
+	}
+	return r
+}
+
+// Format renders the report for operator display.
+func (r *TxReport) Format() string {
+	if r == nil {
+		return ""
+	}
+	var b strings.Builder
+	for _, s := range r.Steps {
+		fmt.Fprintf(&b, "  %s\n", s)
+	}
+	switch {
+	case r.Committed:
+		fmt.Fprintf(&b, "committed\n")
+	case r.RolledBack:
+		fmt.Fprintf(&b, "rolled back:\n")
+		for _, s := range r.Rollback {
+			if s.Err != "" {
+				fmt.Fprintf(&b, "  %s FAILED: %s\n", s.Action, s.Err)
+			} else {
+				fmt.Fprintf(&b, "  %s\n", s.Action)
+			}
+		}
+	}
+	if r.Err != "" {
+		fmt.Fprintf(&b, "error: %s\n", r.Err)
+	}
+	return b.String()
 }
 
 // ControlServer serves control requests for one App.
@@ -105,17 +165,17 @@ func (s *ControlServer) handle(req ctlRequest) ctlResponse {
 	case "instances":
 		return ctlResponse{List: a.bus.Instances()}
 	case "move":
-		if err := a.Move(req.Inst, req.NewName, req.Machine); err != nil {
-			return fail(err)
-		}
+		return s.replaceTx(req.Inst, reconfig.ReplaceOptions{NewName: req.NewName, Machine: req.Machine})
 	case "replace":
-		if err := a.Replace(req.Inst, reconfig.ReplaceOptions{NewName: req.NewName, Machine: req.Machine, Module: req.Module}); err != nil {
-			return fail(err)
-		}
+		return s.replaceTx(req.Inst, reconfig.ReplaceOptions{NewName: req.NewName, Machine: req.Machine, Module: req.Module})
 	case "update":
-		if err := a.Update(req.Inst, req.NewName, req.Module); err != nil {
+		return s.replaceTx(req.Inst, reconfig.ReplaceOptions{NewName: req.NewName, Module: req.Module})
+	case "plan":
+		steps, err := a.PlanReplace(req.Inst, reconfig.ReplaceOptions{NewName: req.NewName, Machine: req.Machine, Module: req.Module})
+		if err != nil {
 			return fail(err)
 		}
+		return ctlResponse{List: steps}
 	case "replicate":
 		if err := a.Replicate(req.Inst, req.NewName, req.Machine); err != nil {
 			return fail(err)
@@ -135,6 +195,20 @@ func (s *ControlServer) handle(req ctlRequest) ctlResponse {
 		return ctlResponse{Err: fmt.Sprintf("reconf: unknown control op %q", req.Op)}
 	}
 	return ctlResponse{Text: "ok"}
+}
+
+// replaceTx runs a replacement-family script and ships the transaction
+// report alongside the outcome, so the operator tool can show the step
+// trace and any rollback even for a failed reconfiguration.
+func (s *ControlServer) replaceTx(inst string, opts reconfig.ReplaceOptions) ctlResponse {
+	res, err := s.app.ReplaceTx(inst, opts)
+	resp := ctlResponse{Tx: txReport(res)}
+	if err != nil {
+		resp.Err = err.Error()
+	} else {
+		resp.Text = "ok"
+	}
+	return resp
 }
 
 // ControlClient drives a remote application.
@@ -168,7 +242,8 @@ func (c *ControlClient) call(req ctlRequest) (ctlResponse, error) {
 		return ctlResponse{}, fmt.Errorf("reconf: control recv: %w", err)
 	}
 	if resp.Err != "" {
-		return ctlResponse{}, fmt.Errorf("reconf: control: %s", resp.Err)
+		// The response still carries any transaction report.
+		return resp, fmt.Errorf("reconf: control: %s", resp.Err)
 	}
 	return resp, nil
 }
@@ -186,21 +261,28 @@ func (c *ControlClient) Instances() ([]string, error) {
 }
 
 // Move relocates an instance remotely.
-func (c *ControlClient) Move(inst, newName, machine string) error {
-	_, err := c.call(ctlRequest{Op: "move", Inst: inst, NewName: newName, Machine: machine})
-	return err
+func (c *ControlClient) Move(inst, newName, machine string) (*TxReport, error) {
+	resp, err := c.call(ctlRequest{Op: "move", Inst: inst, NewName: newName, Machine: machine})
+	return resp.Tx, err
 }
 
 // Replace runs the replacement script remotely.
-func (c *ControlClient) Replace(inst, newName, machine, module string) error {
-	_, err := c.call(ctlRequest{Op: "replace", Inst: inst, NewName: newName, Machine: machine, Module: module})
-	return err
+func (c *ControlClient) Replace(inst, newName, machine, module string) (*TxReport, error) {
+	resp, err := c.call(ctlRequest{Op: "replace", Inst: inst, NewName: newName, Machine: machine, Module: module})
+	return resp.Tx, err
 }
 
 // Update swaps a module implementation remotely.
-func (c *ControlClient) Update(inst, newName, module string) error {
-	_, err := c.call(ctlRequest{Op: "update", Inst: inst, NewName: newName, Module: module})
-	return err
+func (c *ControlClient) Update(inst, newName, module string) (*TxReport, error) {
+	resp, err := c.call(ctlRequest{Op: "update", Inst: inst, NewName: newName, Module: module})
+	return resp.Tx, err
+}
+
+// Plan fetches the step sequence a replacement would perform, without
+// executing it.
+func (c *ControlClient) Plan(inst, newName, machine, module string) ([]string, error) {
+	resp, err := c.call(ctlRequest{Op: "plan", Inst: inst, NewName: newName, Machine: machine, Module: module})
+	return resp.List, err
 }
 
 // Replicate adds a replica remotely.

@@ -47,8 +47,15 @@ func TestControlProtocol(t *testing.T) {
 		time.Sleep(30 * time.Millisecond)
 		d.temperature(10)
 	}()
-	if err := c.Move("compute", "compute2", "machineB"); err != nil {
+	tx, err := c.Move("compute", "compute2", "machineB")
+	if err != nil {
 		t.Fatalf("remote move: %v", err)
+	}
+	if tx == nil || !tx.Committed || tx.RolledBack || len(tx.Rollback) != 0 {
+		t.Errorf("remote move tx report = %+v, want committed with empty rollback", tx)
+	}
+	if tx != nil && !strings.Contains(tx.Format(), "committed") {
+		t.Errorf("tx.Format() = %q, want committed line", tx.Format())
 	}
 	d.temperature(30)
 	if got := d.response(); got != 20 {
@@ -70,9 +77,28 @@ func TestControlProtocol(t *testing.T) {
 		t.Errorf("stats = %q, %v", stats, err)
 	}
 
+	// A dry-run plan lists the transactional step sequence.
+	steps, err := c.Plan("compute2", "compute3", "machineA", "")
+	if err != nil {
+		t.Fatalf("remote plan: %v", err)
+	}
+	joined := strings.Join(steps, "\n")
+	for _, want := range []string{"obj_cap", "signal_reconfig", "await_restored", "commit"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("plan missing %q:\n%s", want, joined)
+		}
+	}
+	// Planning must not have executed anything.
+	if insts, _ := c.Instances(); len(insts) != 3 {
+		t.Errorf("plan executed something: instances = %v", insts)
+	}
+
 	// Error paths.
-	if err := c.Move("ghost", "g2", "m"); err == nil {
+	if _, err := c.Move("ghost", "g2", "m"); err == nil {
 		t.Error("remote move of ghost accepted")
+	}
+	if _, err := c.Plan("ghost", "g2", "m", ""); err == nil {
+		t.Error("remote plan of ghost accepted")
 	}
 	if err := c.Remove("ghost"); err == nil {
 		t.Error("remote remove of ghost accepted")

@@ -24,7 +24,8 @@ func TestExamplesRun(t *testing.T) {
 		{"./examples/quickstart", []string{
 			"moving compute to machineB",
 			"instance compute2 (module compute) on machineB",
-			"objstate_move compute.encode -> compute2.decode",
+			"await_divulged compute",
+			"await_restored compute2",
 		}},
 		{"./examples/monitor", []string{
 			"reconfiguration graph (Figure 6)",

@@ -43,7 +43,9 @@ func tally(num int, n int, rp *float64) {
 // TestIncompatibleUpdateFailsLoudly (failure injection): hot-updating to a
 // module whose procedures do not match the divulged frames must not
 // corrupt anything silently — the clone's restoration aborts with a frame
-// mismatch that Wait surfaces.
+// mismatch, the update script reports it, and the transaction rolls back:
+// the old instance is resurrected from its own divulged state, its queued
+// messages are returned, and it finishes the interrupted computation.
 func TestIncompatibleUpdateFailsLoudly(t *testing.T) {
 	specText := fixtures.MonitorSpec + `
 module computeV2 {
@@ -83,16 +85,34 @@ module computeV2 {
 		time.Sleep(30 * time.Millisecond)
 		d.temperature(60)
 	}()
-	if err := app.Update("compute", "compute2", "computeV2"); err != nil {
-		t.Fatal(err) // the script succeeds; the failure is in the clone
-	}
-
-	err = app.Wait("compute2", 5*time.Second)
+	err = app.Update("compute", "compute2", "computeV2")
 	if err == nil {
-		t.Fatal("incompatible restore reported no error")
+		t.Fatal("incompatible update reported no error")
 	}
 	if !strings.Contains(err.Error(), "frame") {
 		t.Errorf("error %v does not mention the frame mismatch", err)
+	}
+	if !strings.Contains(err.Error(), "rolled back") {
+		t.Errorf("error %v does not report the rollback", err)
+	}
+
+	// The failed clone is gone and the original configuration is back.
+	topo := app.Topology()
+	if strings.Contains(topo, "compute2") {
+		t.Errorf("failed clone still present:\n%s", topo)
+	}
+	if !strings.Contains(topo, "instance compute (module compute)") {
+		t.Errorf("old instance missing after rollback:\n%s", topo)
+	}
+
+	// The resurrected old instance still answers traffic: it resumes at
+	// its reconfiguration point, reads the queued temperature, and
+	// finishes the interrupted computation — nothing was lost.
+	d.temperature(70)
+	d.temperature(80)
+	want := 60.0/3 + 70.0/3 + 80.0/3
+	if got := d.response(); got != want {
+		t.Errorf("answer after rollback = %g, want %g", got, want)
 	}
 }
 

@@ -1,0 +1,328 @@
+package reconf
+
+// Fault-injection matrix for the transactional replacement script: kill a
+// Replace at every failpoint and assert the rollback converges — the
+// application is left answering traffic through the original module with
+// instances, bindings, and queued messages equal to the pre-transaction
+// snapshot. The paper's claim is that reconfiguration is transparent to the
+// application; these tests extend that to *failed* reconfigurations.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"reflect"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/bus"
+	"repro/internal/faultinject"
+	"repro/internal/reconfig"
+)
+
+// cfgSnapshot captures everything a rollback must restore: the instance set
+// (with module, machine, and status), the binding set, and the
+// queued-message count per receiving interface.
+type cfgSnapshot struct {
+	Instances map[string]string
+	Bindings  []string
+	Pending   map[string]int
+}
+
+func snapshotConfig(t *testing.T, app *App) cfgSnapshot {
+	t.Helper()
+	s := cfgSnapshot{Instances: map[string]string{}, Pending: map[string]int{}}
+	for _, name := range app.Bus().Instances() {
+		info, err := app.Bus().Info(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Instances[name] = fmt.Sprintf("%s/%s/%s", info.Module, info.Machine, info.Status)
+		for ifc, n := range info.Pending {
+			s.Pending[name+"."+ifc] = n
+		}
+	}
+	for _, b := range app.Bus().Bindings() {
+		x, y := b.A.String(), b.B.String()
+		if y < x {
+			x, y = y, x
+		}
+		s.Bindings = append(s.Bindings, x+"|"+y)
+	}
+	sort.Strings(s.Bindings)
+	return s
+}
+
+// startInterrupted loads the monitor, launches compute, and interrupts it
+// mid-recursion (a three-reading request with no temperatures yet), so real
+// partial state is in flight when a reconfiguration begins. The returned
+// feed sends the first temperature shortly after the caller starts the
+// script, releasing the module to reach its next reconfiguration point.
+func startInterrupted(t *testing.T) (*App, *driver, func()) {
+	t.Helper()
+	app := loadMonitor(t, 0)
+	t.Cleanup(app.Stop)
+	d := newDriver(t, app)
+	if err := app.Launch("compute"); err != nil {
+		t.Fatal(err)
+	}
+	d.request(3)
+	time.Sleep(50 * time.Millisecond)
+	feed := func() {
+		go func() {
+			time.Sleep(30 * time.Millisecond)
+			d.temperature(60)
+		}()
+	}
+	return app, d, feed
+}
+
+// finishComputation drives the two remaining readings and checks the full
+// three-reading average: the first temperature (60) must have survived the
+// reconfiguration — whether carried in divulged state or returned to the
+// queue — or the sum comes out wrong.
+func finishComputation(t *testing.T, d *driver) {
+	t.Helper()
+	d.temperature(70)
+	d.temperature(80)
+	want := 60.0/3 + 70.0/3 + 80.0/3
+	if got := d.response(); got != want {
+		t.Errorf("answer after reconfiguration = %g, want %g", got, want)
+	}
+}
+
+// TestReplaceRollbackFaultMatrix kills Replace at every pre-commit failpoint
+// and asserts full convergence back to the pre-transaction configuration.
+func TestReplaceRollbackFaultMatrix(t *testing.T) {
+	cases := []struct {
+		site      string
+		action    faultinject.Action
+		stateMove time.Duration // 0 = config default
+	}{
+		{"bus.addinstance", faultinject.Error, 0},
+		{"bus.signal", faultinject.Error, 0},
+		// A dropped signal is a lost SIGHUP: the caller saw success, the
+		// module never heard. The transaction aborts on the state-move
+		// timeout and retracts the (never-delivered) request.
+		{"bus.signal", faultinject.Drop, 1200 * time.Millisecond},
+		{"bus.awaitdivulged", faultinject.Error, 0},
+		{"bus.installstate", faultinject.Error, 0},
+		{"bus.rebind", faultinject.Error, 0},
+		{"bus.attach", faultinject.Error, 0},
+		{"reconfig.launch", faultinject.Error, 0},
+		{"bus.awaitrestored", faultinject.Error, 0},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(fmt.Sprintf("%s_%s", tc.site, tc.action), func(t *testing.T) {
+			t.Parallel()
+			app, d, feed := startInterrupted(t)
+			pre := snapshotConfig(t, app)
+
+			faults := faultinject.New()
+			faults.Enable(tc.site, faultinject.Point{Action: tc.action, Count: 1})
+			app.Bus().SetFaults(faults)
+
+			feed()
+			res, err := app.ReplaceTx("compute", reconfig.ReplaceOptions{
+				NewName:  "compute2",
+				Timeouts: reconfig.Timeouts{StateMove: tc.stateMove},
+			})
+			if err == nil {
+				t.Fatalf("replace succeeded despite fault at %s", tc.site)
+			}
+			if !strings.Contains(err.Error(), "rolled back") {
+				t.Errorf("error %v does not report the rollback", err)
+			}
+			if tc.action == faultinject.Error && !errors.Is(err, faultinject.ErrInjected) {
+				t.Errorf("error %v does not wrap the injected fault", err)
+			}
+			if faults.Fired(tc.site) == 0 {
+				t.Fatalf("failpoint %s never fired", tc.site)
+			}
+			if res == nil || !res.RolledBack || res.Committed {
+				t.Fatalf("result = %+v, want rolled back and uncommitted", res)
+			}
+			if len(res.Steps) == 0 {
+				t.Error("no step trace on the failed transaction")
+			}
+			for _, step := range res.Rollback {
+				if step.Err != "" {
+					t.Errorf("compensation %s failed: %s", step.Action, step.Err)
+				}
+			}
+
+			// The configuration converges back to the pre-transaction
+			// snapshot (the released module may still be consuming the
+			// in-flight temperature, so poll briefly).
+			deadline := time.Now().Add(5 * time.Second)
+			for {
+				got := snapshotConfig(t, app)
+				if reflect.DeepEqual(got, pre) {
+					break
+				}
+				if time.Now().After(deadline) {
+					t.Fatalf("configuration did not converge:\n got %+v\nwant %+v", got, pre)
+				}
+				time.Sleep(10 * time.Millisecond)
+			}
+
+			// And the original module finishes the interrupted computation.
+			finishComputation(t, d)
+		})
+	}
+}
+
+// TestReplaceFaultFreeEmptyRollback is the acceptance criterion's other
+// half: a successful replacement commits with an empty rollback report.
+func TestReplaceFaultFreeEmptyRollback(t *testing.T) {
+	app, d, feed := startInterrupted(t)
+	feed()
+	res, err := app.ReplaceTx("compute", reconfig.ReplaceOptions{NewName: "compute2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Committed || res.RolledBack || len(res.Rollback) != 0 || res.Err != nil {
+		t.Fatalf("result = %+v, want committed with empty rollback", res)
+	}
+	steps := strings.Join(res.Steps, "\n")
+	for _, want := range []string{"await_restored compute2", "chg_obj compute del"} {
+		if !strings.Contains(steps, want) {
+			t.Errorf("step trace missing %q:\n%s", want, steps)
+		}
+	}
+	topo := app.Topology()
+	if !strings.Contains(topo, "instance compute2 (module compute)") {
+		t.Errorf("replacement missing from topology:\n%s", topo)
+	}
+	if strings.Contains(topo, "instance compute (") {
+		t.Errorf("old instance survived a committed replace:\n%s", topo)
+	}
+	finishComputation(t, d)
+}
+
+// TestReplacePostCommitFaultCompletesForward arms a failpoint past the
+// commit point: the replacement must NOT roll back — the clone is already
+// authoritative — and the cleanup failure is reported for the operator.
+func TestReplacePostCommitFaultCompletesForward(t *testing.T) {
+	app, d, feed := startInterrupted(t)
+	faults := faultinject.New()
+	faults.Enable("bus.deleteinstance", faultinject.Point{Action: faultinject.Error, Count: 1})
+	app.Bus().SetFaults(faults)
+
+	feed()
+	res, err := app.ReplaceTx("compute", reconfig.ReplaceOptions{NewName: "compute2"})
+	if err == nil {
+		t.Fatal("cleanup failure not reported")
+	}
+	if !strings.Contains(err.Error(), "cleanup failed") {
+		t.Errorf("error %v does not identify the failure as post-commit cleanup", err)
+	}
+	if !res.Committed || res.RolledBack {
+		t.Fatalf("result = %+v, want committed despite cleanup failure", res)
+	}
+	// Traffic flows through the replacement.
+	finishComputation(t, d)
+}
+
+// TestConcurrentReplaceFailsFast hammers Replace from two goroutines (run
+// under -race): exactly one wins; the loser fails fast with ErrReconfigBusy
+// (or ErrNoInstance, if it arrived after the winner renamed the target).
+func TestConcurrentReplaceFailsFast(t *testing.T) {
+	app, d, feed := startInterrupted(t)
+	feed()
+
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = app.ReplaceTx("compute", reconfig.ReplaceOptions{
+				NewName: fmt.Sprintf("compute%d", i+2),
+			})
+		}(i)
+	}
+	wg.Wait()
+
+	var winners int
+	for _, err := range errs {
+		if err == nil {
+			winners++
+			continue
+		}
+		if !errors.Is(err, reconfig.ErrReconfigBusy) && !errors.Is(err, bus.ErrNoInstance) {
+			t.Errorf("loser error = %v, want ErrReconfigBusy or ErrNoInstance", err)
+		}
+	}
+	if winners != 1 {
+		t.Fatalf("%d concurrent replaces succeeded, want exactly 1 (errors: %v)", winners, errs)
+	}
+	finishComputation(t, d)
+}
+
+// TestRollbackLatencyArtifact measures replace latency with and without an
+// injected fault and writes BENCH_reconfig_latency.json. Gated on the
+// RECONFIG_BENCH_JSON environment variable (scripts/check.sh sets it); a
+// plain `go test` run skips it.
+func TestRollbackLatencyArtifact(t *testing.T) {
+	out := os.Getenv("RECONFIG_BENCH_JSON")
+	if out == "" {
+		t.Skip("set RECONFIG_BENCH_JSON=<path> to emit the latency artifact")
+	}
+	const samples = 5
+	measure := func(site string) []float64 {
+		ms := make([]float64, 0, samples)
+		for i := 0; i < samples; i++ {
+			app, _, feed := startInterrupted(t)
+			if site != "" {
+				f := faultinject.New()
+				f.Enable(site, faultinject.Point{Action: faultinject.Error, Count: 1})
+				app.Bus().SetFaults(f)
+			}
+			feed()
+			start := time.Now()
+			_, err := app.ReplaceTx("compute", reconfig.ReplaceOptions{NewName: "compute2"})
+			ms = append(ms, float64(time.Since(start).Microseconds())/1000.0)
+			if site == "" && err != nil {
+				t.Fatal(err)
+			}
+			if site != "" && err == nil {
+				t.Fatalf("fault at %s did not abort", site)
+			}
+			app.Stop()
+		}
+		sort.Float64s(ms)
+		return ms
+	}
+	stats := func(ms []float64) map[string]float64 {
+		var sum float64
+		for _, v := range ms {
+			sum += v
+		}
+		return map[string]float64{
+			"min_ms":  ms[0],
+			"p50_ms":  ms[len(ms)/2],
+			"max_ms":  ms[len(ms)-1],
+			"mean_ms": sum / float64(len(ms)),
+		}
+	}
+	report := map[string]any{
+		"benchmark":       "replace_latency",
+		"samples":         samples,
+		"fault_free":      stats(measure("")),
+		"rollback_rebind": stats(measure("bus.rebind")),
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", out)
+}

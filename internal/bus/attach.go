@@ -13,10 +13,15 @@ type SignalKind int
 // Control signals. SignalReconfig is the analogue of the paper's SIGHUP:
 // the module's runtime sets its mh_reconfig flag and execution proceeds to
 // the next reconfiguration point. SignalStop asks a module to exit at its
-// next convenience.
+// next convenience. SignalCancel retracts a pending reconfiguration
+// request: the runtime clears its mh_reconfig flag, so a module that has
+// not yet reached a reconfiguration point resumes undisturbed — the
+// transaction layer sends it when a reconfiguration aborts before the
+// module divulged.
 const (
 	SignalReconfig SignalKind = iota + 1
 	SignalStop
+	SignalCancel
 )
 
 // String names the signal.
@@ -26,6 +31,8 @@ func (k SignalKind) String() string {
 		return "reconfig"
 	case SignalStop:
 		return "stop"
+	case SignalCancel:
+		return "cancel"
 	default:
 		return fmt.Sprintf("signal(%d)", int(k))
 	}
@@ -52,8 +59,14 @@ func (a *Attachment) Name() string { return a.inst.spec.Name }
 func (a *Attachment) Machine() string { return a.inst.spec.Machine }
 
 // Status returns the instance status: StatusAdd for an original module,
-// StatusClone for a restoration (mh_getstatus in Figure 4).
-func (a *Attachment) Status() string { return a.inst.spec.Status }
+// StatusClone for a restoration (mh_getstatus in Figure 4). Unlike the
+// other spec attributes, status is rewritten when a rollback resurrects a
+// divulged module, so the read synchronizes with the bus.
+func (a *Attachment) Status() string {
+	a.bus.mu.Lock()
+	defer a.bus.mu.Unlock()
+	return a.inst.spec.Status
+}
 
 // Write emits data on the named interface (mh_write).
 func (a *Attachment) Write(ifaceName string, data []byte) error {
@@ -128,6 +141,9 @@ func (a *Attachment) TakeSignal() (Signal, bool) {
 // (mh_encode at the end of capture). The instance transitions to
 // PhaseDivulged; the coordinator collects the state with AwaitDivulged.
 func (a *Attachment) Divulge(data []byte) error {
+	if err := a.bus.fire("bus.divulge"); err != nil {
+		return fmt.Errorf("bus: divulge from %s: %w", a.inst.spec.Name, err)
+	}
 	a.bus.mu.Lock()
 	a.inst.phase = PhaseDivulged
 	a.bus.mu.Unlock()
@@ -146,6 +162,27 @@ func (a *Attachment) AwaitState(timeout time.Duration) ([]byte, error) {
 		return nil, fmt.Errorf("bus: await installed state for %s: %w", a.inst.spec.Name, err)
 	}
 	return data, nil
+}
+
+// ConfirmRestore reports the outcome of this clone's state restoration to
+// the bus: nil when every frame was rebuilt and the module resumed, or the
+// restoration error (e.g. a frame mismatch). The reconfiguration
+// coordinator observes it through Bus.AwaitRestored before committing the
+// destructive tail of a replacement. Repeat confirmations are dropped.
+func (a *Attachment) ConfirmRestore(restoreErr error) error {
+	a.bus.mu.Lock()
+	box := a.inst.restoreBox
+	a.bus.mu.Unlock()
+	select {
+	case box <- restoreErr:
+	default:
+	}
+	detail := "ok"
+	if restoreErr != nil {
+		detail = restoreErr.Error()
+	}
+	a.bus.emit(Event{Kind: EventRestoreAck, Instance: a.inst.spec.Name, Detail: detail})
+	return nil
 }
 
 // Done reports whether the instance has been deleted from the bus.

@@ -23,6 +23,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/faultinject"
 )
 
 // Direction describes which way messages flow on an interface, derived from
@@ -162,13 +164,14 @@ type iface struct {
 }
 
 type instance struct {
-	spec     InstanceSpec
-	phase    Phase
-	ifaces   map[string]*iface
-	attached bool
-	signals  chan Signal
-	stateBox *stateBox
-	done     chan struct{} // closed on delete
+	spec       InstanceSpec
+	phase      Phase
+	ifaces     map[string]*iface
+	attached   bool
+	signals    chan Signal
+	stateBox   *stateBox
+	restoreBox chan error    // restore confirmation (ConfirmRestore/AwaitRestored)
+	done       chan struct{} // closed on delete
 }
 
 // Bus is the software bus. All methods are safe for concurrent use.
@@ -179,6 +182,7 @@ type Bus struct {
 	observers []func(Event)
 	stats     Stats
 	clock     func() time.Time
+	faults    *faultinject.Set
 }
 
 // Stats counts bus activity, for the benchmark harness.
@@ -190,12 +194,38 @@ type Stats struct {
 	Moves     int64 // queue moves
 }
 
-// New creates an empty bus.
+// New creates an empty bus. Failpoints default to the process-wide set
+// configured by the FAULTPOINTS environment variable (usually empty).
 func New() *Bus {
 	return &Bus{
 		instances: map[string]*instance{},
 		clock:     time.Now,
+		faults:    faultinject.Default(),
 	}
+}
+
+// SetFaults overrides the bus's fault-injection set (tests arm their own so
+// parallel tests do not share failpoints). A nil set disables injection.
+func (b *Bus) SetFaults(s *faultinject.Set) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.faults = s
+}
+
+// Faults returns the bus's fault-injection set (possibly nil).
+func (b *Bus) Faults() *faultinject.Set {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.faults
+}
+
+// fire consults the fault-injection set at a site without holding the bus
+// lock (a Delay point sleeps).
+func (b *Bus) fire(site string) error {
+	b.mu.Lock()
+	f := b.faults
+	b.mu.Unlock()
+	return f.Fire(site)
 }
 
 // Observe registers a callback invoked (synchronously, under no lock order
@@ -230,18 +260,22 @@ func (b *Bus) AddInstance(spec InstanceSpec) error {
 	if spec.Status == "" {
 		spec.Status = StatusAdd
 	}
+	if err := b.fire("bus.addinstance"); err != nil {
+		return fmt.Errorf("bus: add instance %s: %w", spec.Name, err)
+	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if _, dup := b.instances[spec.Name]; dup {
 		return fmt.Errorf("%w: %s", ErrDupInstance, spec.Name)
 	}
 	in := &instance{
-		spec:     spec,
-		phase:    PhaseAdded,
-		ifaces:   map[string]*iface{},
-		signals:  make(chan Signal, 16),
-		stateBox: newStateBox(),
-		done:     make(chan struct{}),
+		spec:       spec,
+		phase:      PhaseAdded,
+		ifaces:     map[string]*iface{},
+		signals:    make(chan Signal, 16),
+		stateBox:   newStateBox(),
+		restoreBox: make(chan error, 1),
+		done:       make(chan struct{}),
 	}
 	for _, is := range spec.Interfaces {
 		if is.Name == "" {
@@ -265,6 +299,9 @@ func (b *Bus) AddInstance(spec InstanceSpec) error {
 // blocked reader with ErrStopped. Bindings touching the instance are
 // removed.
 func (b *Bus) DeleteInstance(name string) error {
+	if err := b.fire("bus.deleteinstance"); err != nil {
+		return fmt.Errorf("bus: delete instance %s: %w", name, err)
+	}
 	b.mu.Lock()
 	in, ok := b.instances[name]
 	if !ok {
@@ -295,6 +332,9 @@ func (b *Bus) DeleteInstance(name string) error {
 // Attach claims the runtime slot of an instance, transitioning it to
 // PhaseRunning. Exactly one attachment per instance is allowed.
 func (b *Bus) Attach(name string) (*Attachment, error) {
+	if err := b.fire("bus.attach"); err != nil {
+		return nil, fmt.Errorf("bus: attach %s: %w", name, err)
+	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	in, ok := b.instances[name]
@@ -419,23 +459,43 @@ type BindEdit struct {
 // Rebind applies a batch of binding edits atomically: either all edits
 // apply, or none (the bus state is restored on failure). This is the
 // mh_rebind of Figure 5: "the rebinding commands are applied all at once,
-// after the old module has divulged its state".
+// after the old module has divulged its state". Bindings AND queues are
+// restored on failure: a cq that moved messages before a later edit failed
+// puts them back, so a half-applied batch never strands traffic.
 func (b *Bus) Rebind(edits []BindEdit) error {
+	if err := b.fire("bus.rebind"); err != nil {
+		return fmt.Errorf("bus: rebind: %w", err)
+	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	// Snapshot bindings for rollback. Queue moves are validated up front
-	// (both queues must exist) so they cannot fail mid-batch.
+	// Snapshot bindings — and the contents of every queue a cq/rmq edit
+	// touches — for rollback. Queue moves are also validated up front
+	// (both queues must exist).
 	saved := make([]Binding, len(b.bindings))
 	copy(saved, b.bindings)
+	qsaved := map[*msgQueue][]Message{}
+	snap := func(e Endpoint) error {
+		ifc, err := b.lookupLocked(e)
+		if err != nil {
+			return err
+		}
+		if ifc.queue == nil {
+			return fmt.Errorf("%w: %s does not receive", ErrDirection, e)
+		}
+		if _, done := qsaved[ifc.queue]; !done {
+			qsaved[ifc.queue] = ifc.queue.snapshot()
+		}
+		return nil
+	}
 	for _, e := range edits {
 		if e.Op != "cq" && e.Op != "rmq" {
 			continue
 		}
-		if _, err := b.lookupLocked(e.From); err != nil {
+		if err := snap(e.From); err != nil {
 			return fmt.Errorf("bus: rebind %s: %w", e.Op, err)
 		}
 		if e.Op == "cq" {
-			if _, err := b.lookupLocked(e.To); err != nil {
+			if err := snap(e.To); err != nil {
 				return fmt.Errorf("bus: rebind cq: %w", err)
 			}
 		}
@@ -465,6 +525,9 @@ func (b *Bus) Rebind(edits []BindEdit) error {
 		}
 		if err != nil {
 			b.bindings = saved
+			for q, items := range qsaved {
+				q.restore(items)
+			}
 			return fmt.Errorf("bus: rebind edit %d (%s %s %s): %w", i, e.Op, e.From, e.To, err)
 		}
 	}
@@ -481,8 +544,27 @@ func (b *Bus) SignalReconfig(name string) error {
 	return b.Signal(name, Signal{Kind: SignalReconfig})
 }
 
-// Signal delivers an arbitrary control signal to the instance.
+// CancelReconfig retracts a pending reconfiguration request: the module's
+// runtime clears its mh_reconfig flag when the cancel signal is polled. The
+// transaction layer sends it when a reconfiguration aborts before the
+// module divulged. The retraction is best-effort, with UNIX-signal
+// semantics: a module already past its flag check captures anyway (the
+// abort path then restores it from the divulged state instead).
+func (b *Bus) CancelReconfig(name string) error {
+	return b.Signal(name, Signal{Kind: SignalCancel})
+}
+
+// Signal delivers an arbitrary control signal to the instance. The
+// "bus.signal" failpoint can drop the delivery (a lost SIGHUP): the caller
+// observes success but the module never learns of the request.
 func (b *Bus) Signal(name string, s Signal) error {
+	dropped := false
+	if err := b.fire("bus.signal"); err != nil {
+		if !errors.Is(err, faultinject.ErrDropped) {
+			return fmt.Errorf("bus: signal %s: %w", name, err)
+		}
+		dropped = true
+	}
 	b.mu.Lock()
 	in, ok := b.instances[name]
 	if !ok {
@@ -491,6 +573,9 @@ func (b *Bus) Signal(name string, s Signal) error {
 	}
 	b.stats.Signals++
 	b.mu.Unlock()
+	if dropped {
+		return nil
+	}
 	select {
 	case in.signals <- s:
 	default: // coalesce like a UNIX signal
@@ -502,6 +587,9 @@ func (b *Bus) Signal(name string, s Signal) error {
 // AwaitDivulged blocks until the named instance divulges its state (via its
 // attachment) or the timeout expires.
 func (b *Bus) AwaitDivulged(name string, timeout time.Duration) (st *stateOwner, err error) {
+	if err := b.fire("bus.awaitdivulged"); err != nil {
+		return nil, fmt.Errorf("bus: await state of %s: %w", name, err)
+	}
 	b.mu.Lock()
 	in, ok := b.instances[name]
 	b.mu.Unlock()
@@ -518,6 +606,9 @@ func (b *Bus) AwaitDivulged(name string, timeout time.Duration) (st *stateOwner,
 // InstallState hands encoded state to the named (clone) instance; its
 // runtime retrieves it with Attachment.AwaitState.
 func (b *Bus) InstallState(name string, data []byte) error {
+	if err := b.fire("bus.installstate"); err != nil {
+		return fmt.Errorf("bus: install state into %s: %w", name, err)
+	}
 	b.mu.Lock()
 	in, ok := b.instances[name]
 	b.mu.Unlock()
@@ -528,6 +619,75 @@ func (b *Bus) InstallState(name string, data []byte) error {
 		return fmt.Errorf("bus: install state into %s: %w", name, err)
 	}
 	b.emit(Event{Kind: EventInstallState, Instance: name, Detail: fmt.Sprintf("%d bytes", len(data))})
+	return nil
+}
+
+// AwaitRestored blocks until the named (clone) instance confirms its state
+// restoration — nil for success, or the restoration error — or the timeout
+// expires. The transaction layer gates the destructive tail of a
+// replacement on it: the old module is only deleted once the new one is
+// demonstrably live.
+func (b *Bus) AwaitRestored(name string, timeout time.Duration) error {
+	if err := b.fire("bus.awaitrestored"); err != nil {
+		return fmt.Errorf("bus: await restore of %s: %w", name, err)
+	}
+	b.mu.Lock()
+	in, ok := b.instances[name]
+	b.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoInstance, name)
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case err := <-in.restoreBox:
+		if err != nil {
+			return fmt.Errorf("bus: restore of %s failed: %w", name, err)
+		}
+		return nil
+	case <-in.done:
+		return fmt.Errorf("bus: await restore of %s: %w", name, ErrStopped)
+	case <-timer.C:
+		return fmt.Errorf("bus: await restore of %s: %w", name, ErrTimeout)
+	}
+}
+
+// ResetForRelaunch prepares a divulged instance to be launched again as a
+// clone of itself: its runtime slot is released, its status becomes
+// StatusClone so the relaunched program performs a restoration, and its
+// state and restore boxes are fresh. The reconfiguration abort path uses it
+// to resurrect an old module that already surrendered its state — the
+// divulged state is reinstalled and the module resumes from its
+// reconfiguration point. Queues and bindings are untouched.
+func (b *Bus) ResetForRelaunch(name string) error {
+	b.mu.Lock()
+	in, ok := b.instances[name]
+	if !ok {
+		b.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrNoInstance, name)
+	}
+	in.spec.Status = StatusClone
+	in.attached = false
+	in.phase = PhaseAdded
+	in.stateBox = newStateBox()
+	in.restoreBox = make(chan error, 1)
+	b.mu.Unlock()
+	b.emit(Event{Kind: EventRelaunch, Instance: name})
+	return nil
+}
+
+// SetStatus rewrites an instance's status attribute. The abort path uses it
+// to return a resurrected module to its original "add" status once the
+// restoration is confirmed, so the rolled-back configuration matches the
+// pre-transaction one.
+func (b *Bus) SetStatus(name, status string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	in, ok := b.instances[name]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoInstance, name)
+	}
+	in.spec.Status = status
 	return nil
 }
 

@@ -22,6 +22,8 @@ const (
 	EventDivulge
 	EventInstallState
 	EventMoveState
+	EventRestoreAck
+	EventRelaunch
 )
 
 var eventNames = map[EventKind]string{
@@ -36,6 +38,8 @@ var eventNames = map[EventKind]string{
 	EventDivulge:        "divulge",
 	EventInstallState:   "install-state",
 	EventMoveState:      "move-state",
+	EventRestoreAck:     "restore-ack",
+	EventRelaunch:       "relaunch",
 }
 
 // String names the event kind.

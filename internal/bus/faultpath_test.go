@@ -1,0 +1,210 @@
+package bus
+
+// Unit tests for the robustness machinery under internal/bus: dial retry
+// with backoff, per-call RPC timeouts, the restore-confirmation RPC, and
+// queue restoration when a rebinding batch fails mid-application.
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+)
+
+func TestDialRetriesThroughTransientFault(t *testing.T) {
+	_, s := startServer(t)
+	faults := faultinject.New()
+	faults.Enable("tcp.dial", faultinject.Point{Action: faultinject.Error, Count: 1})
+	p, err := DialPortWith(s.Addr().String(), "compute", DialOptions{
+		Retries: 2,
+		Backoff: 5 * time.Millisecond,
+		Faults:  faults,
+	})
+	if err != nil {
+		t.Fatalf("dial with one transient fault and two retries failed: %v", err)
+	}
+	defer p.Close()
+	if faults.Fired("tcp.dial") != 1 {
+		t.Errorf("tcp.dial fired %d times, want 1 (Count:1 disarms after the fault)", faults.Fired("tcp.dial"))
+	}
+	if p.Name() != "compute" {
+		t.Errorf("attached as %q", p.Name())
+	}
+}
+
+func TestDialExhaustsRetries(t *testing.T) {
+	faults := faultinject.New()
+	faults.Enable("tcp.dial", faultinject.Point{Action: faultinject.Error})
+	_, err := DialPortWith("127.0.0.1:1", "compute", DialOptions{
+		Retries: 2,
+		Backoff: time.Millisecond,
+		Faults:  faults,
+	})
+	if err == nil {
+		t.Fatal("dial succeeded with a permanent fault")
+	}
+	if !errors.Is(err, faultinject.ErrInjected) {
+		t.Errorf("error %v does not wrap the injected fault", err)
+	}
+	if !strings.Contains(err.Error(), "3 attempts") {
+		t.Errorf("error %v does not count the attempts", err)
+	}
+}
+
+func TestDialNoRetryByDefault(t *testing.T) {
+	if _, err := DialPort("127.0.0.1:1", "compute"); err == nil {
+		t.Fatal("dial to a closed port succeeded")
+	} else if !strings.Contains(err.Error(), "1 attempts") {
+		t.Errorf("error %v shows more than one attempt without Retries", err)
+	}
+}
+
+func TestRemoteCallFaultInjection(t *testing.T) {
+	_, s := startServer(t)
+	faults := faultinject.New()
+	p, err := DialPortWith(s.Addr().String(), "compute", DialOptions{Faults: faults})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	faults.Enable("tcp.call", faultinject.Point{Action: faultinject.Error, Count: 1})
+	if _, err := p.Pending("display"); !errors.Is(err, faultinject.ErrInjected) {
+		t.Errorf("faulted rpc error = %v", err)
+	}
+	// The fault was transient: the next call goes through.
+	if n, err := p.Pending("display"); err != nil || n != 0 {
+		t.Errorf("rpc after transient fault = %d, %v", n, err)
+	}
+}
+
+func TestRemoteCallTimeout(t *testing.T) {
+	_, s := startServer(t)
+	p, err := DialPortWith(s.Addr().String(), "compute", DialOptions{CallTimeout: 80 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	// Read on an empty queue blocks server-side; the client bound surfaces
+	// it as a timeout instead of a stall.
+	start := time.Now()
+	_, err = p.Read("sensor")
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("blocked read error = %v, want ErrTimeout", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("timeout took %v", elapsed)
+	}
+}
+
+func TestRemoteConfirmRestore(t *testing.T) {
+	b, s := startServer(t)
+	p := dial(t, s, "compute")
+	if err := p.ConfirmRestore(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AwaitRestored("compute", time.Second); err != nil {
+		t.Errorf("AwaitRestored after remote confirmation: %v", err)
+	}
+}
+
+func TestRemoteConfirmRestoreFailure(t *testing.T) {
+	b, s := startServer(t)
+	p := dial(t, s, "compute")
+	if err := p.ConfirmRestore(errors.New("frame mismatch at level 2")); err != nil {
+		t.Fatal(err)
+	}
+	err := b.AwaitRestored("compute", time.Second)
+	if err == nil || !strings.Contains(err.Error(), "frame mismatch at level 2") {
+		t.Errorf("AwaitRestored = %v, want the remote restore failure", err)
+	}
+}
+
+// TestRebindRestoresMovedQueues: a batch that moves queued messages and then
+// fails must put the messages back where they were — the transaction layer
+// depends on this to guarantee no message loss on rollback.
+func TestRebindRestoresMovedQueues(t *testing.T) {
+	b := testBus(t)
+	if err := b.AddInstance(InstanceSpec{
+		Name: "compute2", Module: "compute", Status: StatusClone,
+		Interfaces: []IfaceSpec{{Name: "display", Dir: InOut}, {Name: "sensor", Dir: In}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	disp, err := b.Attach("display")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, payload := range []string{"q1", "q2"} {
+		if err := disp.Write("temper", []byte(payload)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	err = b.Rebind([]BindEdit{
+		{Op: "cq", From: Endpoint{"compute", "display"}, To: Endpoint{"compute2", "display"}},
+		{Op: "del", From: Endpoint{"ghost", "x"}, To: Endpoint{"ghost", "y"}},
+	})
+	if err == nil {
+		t.Fatal("failing batch succeeded")
+	}
+
+	info, err := b.Info("compute")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Pending["display"] != 2 {
+		t.Fatalf("after failed rebind, compute.display holds %d messages, want 2", info.Pending["display"])
+	}
+	if info2, _ := b.Info("compute2"); info2.Pending["display"] != 0 {
+		t.Errorf("after failed rebind, compute2.display holds %d messages, want 0", info2.Pending["display"])
+	}
+	// Content survived in order, not just the count.
+	comp, err := b.Attach("compute")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"q1", "q2"} {
+		m, err := comp.Read("display")
+		if err != nil || string(m.Data) != want {
+			t.Fatalf("restored message = %q, %v; want %q", m.Data, err, want)
+		}
+	}
+}
+
+func TestSignalDropIsSilent(t *testing.T) {
+	b := testBus(t)
+	faults := faultinject.New()
+	faults.Enable("bus.signal", faultinject.Point{Action: faultinject.Drop, Count: 1})
+	b.SetFaults(faults)
+	comp, err := b.Attach("compute")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The dropped signal reports success but never arrives.
+	if err := b.SignalReconfig("compute"); err != nil {
+		t.Fatalf("dropped signal surfaced an error: %v", err)
+	}
+	select {
+	case sig := <-comp.Signals():
+		t.Fatalf("dropped signal was delivered: %v", sig)
+	case <-time.After(50 * time.Millisecond):
+	}
+	// Dropping still validates the target.
+	if err := b.SignalReconfig("ghost"); !errors.Is(err, ErrNoInstance) {
+		t.Errorf("signal to ghost = %v", err)
+	}
+	// Disarmed now: delivery resumes.
+	if err := b.SignalReconfig("compute"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case sig := <-comp.Signals():
+		if sig.Kind != SignalReconfig {
+			t.Errorf("signal kind = %v", sig.Kind)
+		}
+	case <-time.After(time.Second):
+		t.Error("signal after disarm never arrived")
+	}
+}

@@ -85,6 +85,30 @@ func (q *msgQueue) drain() []Message {
 	return items
 }
 
+// snapshot returns a copy of the queued messages without removing them,
+// for rollback bookkeeping.
+func (q *msgQueue) snapshot() []Message {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	items := make([]Message, len(q.items))
+	copy(items, q.items)
+	return items
+}
+
+// restore replaces the queue contents with a snapshot, waking readers if it
+// is non-empty. Restoring a closed queue is a no-op.
+func (q *msgQueue) restore(items []Message) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return
+	}
+	q.items = append(q.items[:0:0], items...)
+	if len(q.items) > 0 {
+		q.cond.Broadcast()
+	}
+}
+
 // close wakes all blocked readers; subsequent pushes fail.
 func (q *msgQueue) close() {
 	q.mu.Lock()

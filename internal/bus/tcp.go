@@ -8,6 +8,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"repro/internal/faultinject"
 )
 
 // This file implements the wire protocol that lets a module attach to the
@@ -24,10 +26,10 @@ import (
 
 type clientFrame struct {
 	ID        uint64
-	Op        string // "hello","write","read","tryread","pending","divulge","awaitstate"
+	Op        string // "hello","write","read","tryread","pending","divulge","awaitstate","confirmrestore"
 	Instance  string // hello only
 	Iface     string
-	Data      []byte
+	Data      []byte // payload; for confirmrestore, the error text ("" = success)
 	TimeoutMs int64
 }
 
@@ -266,6 +268,14 @@ func (s *Server) handle(att *Attachment, req clientFrame) serverFrame {
 			return fail(err)
 		}
 		resp.Data = data
+	case "confirmrestore":
+		var restoreErr error
+		if len(req.Data) > 0 {
+			restoreErr = errors.New(string(req.Data))
+		}
+		if err := att.ConfirmRestore(restoreErr); err != nil {
+			return fail(err)
+		}
 	default:
 		return fail(fmt.Errorf("bus: unknown rpc op %q", req.Op))
 	}
@@ -274,9 +284,11 @@ func (s *Server) handle(att *Attachment, req clientFrame) serverFrame {
 
 // RemotePort is a Port backed by a TCP connection to a bus Server.
 type RemotePort struct {
-	conn  net.Conn
-	enc   *gob.Encoder
-	hello helloAck
+	conn        net.Conn
+	enc         *gob.Encoder
+	hello       helloAck
+	callTimeout time.Duration
+	faults      *faultinject.Set
 
 	encMu   sync.Mutex
 	mu      sync.Mutex
@@ -290,17 +302,64 @@ type RemotePort struct {
 
 var _ Port = (*RemotePort)(nil)
 
+// DialOptions tunes the client side of a TCP attachment.
+type DialOptions struct {
+	// Retries is the number of additional dial attempts after the first
+	// fails (connection refused, network error). 0 means dial exactly once.
+	Retries int
+	// Backoff is the wait before the first retry; it doubles per attempt.
+	// Defaults to 50ms when Retries > 0.
+	Backoff time.Duration
+	// CallTimeout bounds each RPC round trip. 0 disables the bound — the
+	// right choice for module data-plane ports, whose Read legitimately
+	// blocks until traffic arrives. Control-plane callers set it so a hung
+	// or partitioned peer surfaces as ErrTimeout instead of a stall.
+	CallTimeout time.Duration
+	// Faults is the failpoint set for the tcp.dial and tcp.call sites;
+	// nil means faultinject.Default().
+	Faults *faultinject.Set
+}
+
 // DialPort attaches to the instance name on the bus server at addr.
 func DialPort(addr, instance string) (*RemotePort, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("bus: dial %s: %w", addr, err)
+	return DialPortWith(addr, instance, DialOptions{})
+}
+
+// DialPortWith attaches like DialPort, retrying the dial with exponential
+// backoff and applying a per-call timeout per opts.
+func DialPortWith(addr, instance string, opts DialOptions) (*RemotePort, error) {
+	faults := opts.Faults
+	if faults == nil {
+		faults = faultinject.Default()
+	}
+	backoff := opts.Backoff
+	if backoff <= 0 {
+		backoff = 50 * time.Millisecond
+	}
+	var conn net.Conn
+	var err error
+	for attempt := 0; ; attempt++ {
+		if ferr := faults.Fire("tcp.dial"); ferr != nil {
+			err = ferr
+		} else {
+			conn, err = net.Dial("tcp", addr)
+		}
+		if err == nil {
+			break
+		}
+		if attempt >= opts.Retries {
+			return nil, fmt.Errorf("bus: dial %s (%d attempts): %w", addr, attempt+1, err)
+		}
+		time.Sleep(backoff)
+		backoff *= 2
 	}
 	p := &RemotePort{
-		conn:    conn,
-		enc:     gob.NewEncoder(conn),
-		waiting: map[uint64]chan serverFrame{},
-		signals: make(chan Signal, 16),
+		conn:        conn,
+		enc:         gob.NewEncoder(conn),
+		callTimeout: opts.CallTimeout,
+		faults:      faults,
+		waiting:     map[uint64]chan serverFrame{},
+		signals:     make(chan Signal, 16),
 	}
 	dec := gob.NewDecoder(conn)
 	// Handshake synchronously before starting the demux loop.
@@ -368,6 +427,9 @@ func (p *RemotePort) demux(dec *gob.Decoder) {
 func (p *RemotePort) Close() error { return p.conn.Close() }
 
 func (p *RemotePort) call(req clientFrame) (serverFrame, error) {
+	if err := p.faults.Fire("tcp.call"); err != nil {
+		return serverFrame{}, fmt.Errorf("bus: rpc %s: %w", req.Op, err)
+	}
 	ch := make(chan serverFrame, 1)
 	p.mu.Lock()
 	if p.closed {
@@ -388,14 +450,29 @@ func (p *RemotePort) call(req clientFrame) (serverFrame, error) {
 		p.mu.Unlock()
 		return serverFrame{}, fmt.Errorf("%w: send: %v", ErrStopped, err)
 	}
-	f, ok := <-ch
-	if !ok {
-		return serverFrame{}, fmt.Errorf("%w: connection closed", ErrStopped)
+	var timeoutC <-chan time.Time
+	if p.callTimeout > 0 {
+		timer := time.NewTimer(p.callTimeout)
+		defer timer.Stop()
+		timeoutC = timer.C
 	}
-	if f.Err != "" {
-		return serverFrame{}, errFromKind(f.ErrKind, f.Err)
+	select {
+	case f, ok := <-ch:
+		if !ok {
+			return serverFrame{}, fmt.Errorf("%w: connection closed", ErrStopped)
+		}
+		if f.Err != "" {
+			return serverFrame{}, errFromKind(f.ErrKind, f.Err)
+		}
+		return f, nil
+	case <-timeoutC:
+		// Abandon the call; ch is buffered so a late response from the
+		// demux loop is simply dropped.
+		p.mu.Lock()
+		delete(p.waiting, req.ID)
+		p.mu.Unlock()
+		return serverFrame{}, fmt.Errorf("bus: rpc %s: %w after %v", req.Op, ErrTimeout, p.callTimeout)
 	}
-	return f, nil
 }
 
 // Name implements Port.
@@ -462,6 +539,17 @@ func (p *RemotePort) TakeSignal() (Signal, bool) {
 // Divulge implements Port.
 func (p *RemotePort) Divulge(data []byte) error {
 	_, err := p.call(clientFrame{Op: "divulge", Data: data})
+	return err
+}
+
+// ConfirmRestore reports the outcome of this clone's restoration to the
+// remote bus (see Attachment.ConfirmRestore).
+func (p *RemotePort) ConfirmRestore(restoreErr error) error {
+	var data []byte
+	if restoreErr != nil {
+		data = []byte(restoreErr.Error())
+	}
+	_, err := p.call(clientFrame{Op: "confirmrestore", Data: data})
 	return err
 }
 

@@ -1,0 +1,146 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestFireUnarmedAndNil(t *testing.T) {
+	var nilSet *Set
+	if err := nilSet.Fire("anything"); err != nil {
+		t.Errorf("nil set fired: %v", err)
+	}
+	if nilSet.Fired("anything") != 0 {
+		t.Error("nil set counted a firing")
+	}
+	nilSet.Disable("anything") // must not panic
+
+	s := New()
+	if err := s.Fire("unarmed"); err != nil {
+		t.Errorf("unarmed site fired: %v", err)
+	}
+	var zero Set
+	if err := zero.Fire("unarmed"); err != nil {
+		t.Errorf("zero-value set fired: %v", err)
+	}
+	zero.Enable("s", Point{})
+	if err := zero.Fire("s"); err == nil {
+		t.Error("zero-value set did not fire after Enable")
+	}
+}
+
+func TestFireError(t *testing.T) {
+	s := New()
+	s.Enable("site", Point{})
+	err := s.Fire("site")
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	custom := errors.New("custom boom")
+	s.Enable("site", Point{Err: custom})
+	err = s.Fire("site")
+	if !errors.Is(err, ErrInjected) || !errors.Is(err, custom) {
+		t.Errorf("custom err = %v", err)
+	}
+}
+
+func TestFireDropAndDelay(t *testing.T) {
+	s := New()
+	s.Enable("sig", Point{Action: Drop})
+	if err := s.Fire("sig"); !errors.Is(err, ErrDropped) {
+		t.Errorf("drop = %v", err)
+	}
+	s.Enable("slow", Point{Action: Delay, Delay: 10 * time.Millisecond})
+	start := time.Now()
+	if err := s.Fire("slow"); err != nil {
+		t.Errorf("delay returned %v", err)
+	}
+	if time.Since(start) < 10*time.Millisecond {
+		t.Error("delay did not stall")
+	}
+}
+
+func TestCountLimitsFirings(t *testing.T) {
+	s := New()
+	s.Enable("site", Point{Count: 2})
+	if err := s.Fire("site"); err == nil {
+		t.Error("firing 1 passed")
+	}
+	if err := s.Fire("site"); err == nil {
+		t.Error("firing 2 passed")
+	}
+	if err := s.Fire("site"); err != nil {
+		t.Errorf("firing 3 should be disarmed: %v", err)
+	}
+	if got := s.Fired("site"); got != 2 {
+		t.Errorf("fired = %d, want 2", got)
+	}
+	if got := s.Armed(); len(got) != 0 {
+		t.Errorf("exhausted point still armed: %v", got)
+	}
+}
+
+func TestDisableAndArmed(t *testing.T) {
+	s := New()
+	s.Enable("b", Point{})
+	s.Enable("a", Point{})
+	if got := s.Armed(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Errorf("armed = %v", got)
+	}
+	s.Disable("a")
+	if err := s.Fire("a"); err != nil {
+		t.Errorf("disabled site fired: %v", err)
+	}
+	if err := s.Fire("b"); err == nil {
+		t.Error("site b unarmed")
+	}
+}
+
+func TestParse(t *testing.T) {
+	s, err := Parse("a=error, b=drop:x2 ,c=delay:5ms,d=error:x1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Armed(); len(got) != 4 {
+		t.Fatalf("armed = %v", got)
+	}
+	if err := s.Fire("a"); !errors.Is(err, ErrInjected) {
+		t.Errorf("a = %v", err)
+	}
+	if err := s.Fire("b"); !errors.Is(err, ErrDropped) {
+		t.Errorf("b = %v", err)
+	}
+	if err := s.Fire("c"); err != nil {
+		t.Errorf("c = %v", err)
+	}
+	s.Fire("d")
+	if err := s.Fire("d"); err != nil {
+		t.Errorf("d should be exhausted after x1: %v", err)
+	}
+
+	if s, err := Parse(""); err != nil || len(s.Armed()) != 0 {
+		t.Errorf("empty spec: %v %v", s, err)
+	}
+	for _, bad := range []string{
+		"noequals",
+		"=error",
+		"a=frobnicate",
+		"a=delay",        // no duration
+		"a=delay:bogus",  // bad duration
+		"a=error:x0",     // bad count
+		"a=error:xhello", // bad count
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted", bad)
+		}
+	}
+}
+
+func TestDefaultIsEmptyWithoutEnv(t *testing.T) {
+	// The test process does not set FAULTPOINTS; Default must be a
+	// usable empty set.
+	if s := Default(); len(s.Armed()) != 0 {
+		t.Errorf("default set armed: %v", s.Armed())
+	}
+}

@@ -64,13 +64,13 @@ func (r *Runtime) CaptureAbstract(fn string, loc int, vars []state.Var) {
 // it belongs to fn. The bool result is false after a fatal mismatch.
 func (r *Runtime) NextRestoreFrame(fn string) (state.Frame, bool) {
 	if r.restoreIdx >= len(r.restore) {
-		r.failFatal(fmt.Errorf("%w: %s restoring beyond frame %d", ErrWrongFrame, fn, r.restoreIdx))
+		r.failRestore(fmt.Errorf("%w: %s restoring beyond frame %d", ErrWrongFrame, fn, r.restoreIdx))
 		return state.Frame{}, false
 	}
 	frame := r.restore[r.restoreIdx]
 	r.restoreIdx++
 	if frame.Func != fn {
-		r.failFatal(fmt.Errorf("%w: frame %d belongs to %s, %s is restoring", ErrWrongFrame, r.restoreIdx-1, frame.Func, fn))
+		r.failRestore(fmt.Errorf("%w: frame %d belongs to %s, %s is restoring", ErrWrongFrame, r.restoreIdx-1, frame.Func, fn))
 		return state.Frame{}, false
 	}
 	return frame, true

@@ -89,6 +89,8 @@ type Runtime struct {
 	restore    []state.Frame // frames to replay bottom-first during restoration
 	restoreIdx int
 
+	restoreAcked bool // restoration outcome already reported to the bus
+
 	meta map[string]string
 	err  error
 
@@ -175,6 +177,10 @@ func (r *Runtime) pollSignals() {
 		switch s.Kind {
 		case bus.SignalReconfig:
 			r.reconfig = true
+		case bus.SignalCancel:
+			// A reconfiguration abort retracted the request before this
+			// module reached a reconfiguration point; resume undisturbed.
+			r.reconfig = false
 		case bus.SignalStop:
 			r.failFatal(fmt.Errorf("%w: stop signal", bus.ErrStopped))
 		}
@@ -344,8 +350,15 @@ func (r *Runtime) Restoring() bool {
 	return r.restoring
 }
 
-// SetRestoring sets or clears mh_restoring.
-func (r *Runtime) SetRestoring(on bool) { r.restoring = on }
+// SetRestoring sets or clears mh_restoring. Clearing it at the end of a
+// restoration (the generated reconfiguration-edge restore code) confirms
+// the restoration to the bus, provided every divulged frame was consumed.
+func (r *Runtime) SetRestoring(on bool) {
+	if !on && r.restoring && r.restoreIdx == len(r.restore) {
+		r.ackRestore(nil)
+	}
+	r.restoring = on
+}
 
 // ---- state capture ----
 
@@ -449,12 +462,71 @@ func (r *Runtime) Encode() {
 		r.failFatal(fmt.Errorf("mh: encode: %w", err))
 		return
 	}
-	if err := r.port.Divulge(data); err != nil {
-		r.failFatal(fmt.Errorf("mh: divulge: %w", err))
+	// A module that fails to divulge dies with its captured state — the
+	// one window the transaction layer cannot roll back, since the stack
+	// is already unwound. Retry transient bus failures with backoff
+	// before giving up.
+	var derr error
+	for attempt, backoff := 0, 10*time.Millisecond; attempt < 3; attempt++ {
+		if derr = r.port.Divulge(data); derr == nil {
+			return
+		}
+		if errors.Is(derr, bus.ErrStopped) {
+			break
+		}
+		time.Sleep(backoff)
+		backoff *= 2
 	}
+	r.failFatal(fmt.Errorf("mh: divulge: %w", derr))
 }
 
 // ---- state restoration ----
+
+// restoreConfirmer is the optional port capability for reporting a clone's
+// restoration outcome back to the bus (Attachment and RemotePort both
+// provide it; stub ports in tests need not).
+type restoreConfirmer interface {
+	ConfirmRestore(restoreErr error) error
+}
+
+// ackRestore reports the restoration outcome to the bus exactly once. The
+// reconfiguration coordinator waits on it (Bus.AwaitRestored) before
+// committing the destructive tail of a replacement, so both the success
+// edge (mh_restoring cleared with every frame consumed) and every
+// restoration failure path must pass through here.
+func (r *Runtime) ackRestore(restoreErr error) {
+	if r.restoreAcked {
+		return
+	}
+	r.restoreAcked = true
+	if c, ok := r.port.(restoreConfirmer); ok {
+		_ = c.ConfirmRestore(restoreErr)
+	}
+}
+
+// failRestore acknowledges a restoration failure to the bus, then diverts to
+// the fatal handler.
+func (r *Runtime) failRestore(err error) {
+	r.ackRestore(err)
+	r.failFatal(err)
+}
+
+// ConfirmRestoreOutcome reports a restoration outcome to the bus if one is
+// still owed. Hosts call it when a clone's module body exits, so a clone
+// that died mid-restoration through a path the runtime cannot see (an
+// interpreter failure, a panic in module code) still unblocks the
+// coordinator's AwaitRestored instead of leaving it to time out. It is a
+// no-op for modules that were not launched as clones or that already
+// confirmed.
+func (r *Runtime) ConfirmRestoreOutcome(err error) {
+	if r.restoreAcked || r.Status() != bus.StatusClone {
+		return
+	}
+	if err == nil {
+		err = errors.New("mh: module exited before completing restoration")
+	}
+	r.ackRestore(err)
+}
 
 // Decode waits for installed state and prepares restoration (mh_decode):
 // heap objects are reinstalled, the frame cursor is set to the bottom-most
@@ -462,20 +534,20 @@ func (r *Runtime) Encode() {
 func (r *Runtime) Decode() {
 	data, err := r.port.AwaitState(r.stateTimeout)
 	if err != nil {
-		r.failFatal(fmt.Errorf("mh: decode: %w", err))
+		r.failRestore(fmt.Errorf("mh: decode: %w", err))
 		return
 	}
 	st, err := r.codec.DecodeState(data)
 	if err != nil {
-		r.failFatal(fmt.Errorf("mh: decode: %w", err))
+		r.failRestore(fmt.Errorf("mh: decode: %w", err))
 		return
 	}
 	if err := st.Validate(); err != nil {
-		r.failFatal(fmt.Errorf("mh: decode: %w", err))
+		r.failRestore(fmt.Errorf("mh: decode: %w", err))
 		return
 	}
 	if err := r.heap.RestoreAll(st.Heap); err != nil {
-		r.failFatal(fmt.Errorf("mh: decode: %w", err))
+		r.failRestore(fmt.Errorf("mh: decode: %w", err))
 		return
 	}
 	r.restore = st.Frames
@@ -489,21 +561,21 @@ func (r *Runtime) Decode() {
 // location: mh_restore("iif", &mh_location, &n, &response).
 func (r *Runtime) Restore(fn, format string, ptrs ...any) {
 	if len(ptrs) == 0 {
-		r.failFatal(errors.New("mh: restore without a location pointer"))
+		r.failRestore(errors.New("mh: restore without a location pointer"))
 		return
 	}
 	if r.restoreIdx >= len(r.restore) {
-		r.failFatal(fmt.Errorf("%w: %s restoring beyond frame %d", ErrWrongFrame, fn, r.restoreIdx))
+		r.failRestore(fmt.Errorf("%w: %s restoring beyond frame %d", ErrWrongFrame, fn, r.restoreIdx))
 		return
 	}
 	frame := r.restore[r.restoreIdx]
 	r.restoreIdx++
 	if frame.Func != fn {
-		r.failFatal(fmt.Errorf("%w: frame %d belongs to %s, %s is restoring", ErrWrongFrame, r.restoreIdx-1, frame.Func, fn))
+		r.failRestore(fmt.Errorf("%w: frame %d belongs to %s, %s is restoring", ErrWrongFrame, r.restoreIdx-1, frame.Func, fn))
 		return
 	}
 	if len(ptrs)-1 != len(frame.Vars) {
-		r.failFatal(fmt.Errorf("%w: %s frame has %d vars, %d pointers supplied", ErrWrongFrame, fn, len(frame.Vars), len(ptrs)-1))
+		r.failRestore(fmt.Errorf("%w: %s frame has %d vars, %d pointers supplied", ErrWrongFrame, fn, len(frame.Vars), len(ptrs)-1))
 		return
 	}
 	if len(format) > 0 {
@@ -513,19 +585,19 @@ func (r *Runtime) Restore(fn, format string, ptrs ...any) {
 			avs = append(avs, v.Value)
 		}
 		if err := codec.ValidateFormat(format, avs); err != nil {
-			r.failFatal(fmt.Errorf("mh: restore %s: %w", fn, err))
+			r.failRestore(fmt.Errorf("mh: restore %s: %w", fn, err))
 			return
 		}
 	}
 	locPtr, ok := ptrs[0].(*int)
 	if !ok {
-		r.failFatal(fmt.Errorf("mh: restore %s: location pointer is %T, want *int", fn, ptrs[0]))
+		r.failRestore(fmt.Errorf("mh: restore %s: location pointer is %T, want *int", fn, ptrs[0]))
 		return
 	}
 	*locPtr = frame.Location
 	for i, v := range frame.Vars {
 		if err := state.ToGo(v.Value, ptrs[i+1]); err != nil {
-			r.failFatal(fmt.Errorf("mh: restore %s var %s: %w", fn, v.Name, err))
+			r.failRestore(fmt.Errorf("mh: restore %s var %s: %w", fn, v.Name, err))
 			return
 		}
 	}
@@ -539,12 +611,13 @@ func (r *Runtime) RemainingFrames() int { return len(r.restore) - r.restoreIdx }
 // restore code of Figure 8). It verifies every frame was consumed.
 func (r *Runtime) FinishRestore() {
 	if r.restoreIdx != len(r.restore) {
-		r.failFatal(fmt.Errorf("%w: %d frames left unrestored", ErrWrongFrame, len(r.restore)-r.restoreIdx))
+		r.failRestore(fmt.Errorf("%w: %d frames left unrestored", ErrWrongFrame, len(r.restore)-r.restoreIdx))
 		return
 	}
 	r.restoring = false
 	r.restore = nil
 	r.signalsOn = true
+	r.ackRestore(nil)
 }
 
 // Stopped reports whether the module's instance has been deleted.

@@ -34,6 +34,11 @@ func (f LauncherFunc) Launch(instance string) error { return f(instance) }
 type Primitives struct {
 	bus *bus.Bus
 
+	// txMu serializes transactional scripts: concurrent reconfigurations
+	// of one application are refused with ErrReconfigBusy rather than
+	// interleaved (the paper assumes one reconfiguration at a time).
+	txMu sync.Mutex
+
 	mu    sync.Mutex
 	trace []string
 }
@@ -66,6 +71,26 @@ func (p *Primitives) ResetTrace() {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.trace = nil
+}
+
+// traceMark returns the current trace length, so a transaction can later
+// extract just its own primitive lines with traceSince.
+func (p *Primitives) traceMark() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.trace)
+}
+
+// traceSince returns the trace lines appended after mark.
+func (p *Primitives) traceSince(mark int) []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if mark > len(p.trace) {
+		return nil
+	}
+	out := make([]string, len(p.trace)-mark)
+	copy(out, p.trace[mark:])
+	return out
 }
 
 // ObjCap retrieves the current specification of an instance (mh_obj_cap).
@@ -161,6 +186,61 @@ func (p *Primitives) ObjStateMove(old, srcIface, dst, dstIface string, timeout t
 	return nil
 }
 
+// SignalReconfig asks an instance to divulge at its next reconfiguration
+// point — the first third of mh_objstate_move, split out so the
+// transactional script can journal a compensation (cancel or resurrect)
+// before committing to the wait.
+func (p *Primitives) SignalReconfig(name string) error {
+	if err := p.bus.SignalReconfig(name); err != nil {
+		return fmt.Errorf("reconfig: signal_reconfig %s: %w", name, err)
+	}
+	p.log("signal_reconfig %s", name)
+	return nil
+}
+
+// AwaitDivulged waits for a signaled instance to surrender its encoded
+// state (the middle of mh_objstate_move).
+func (p *Primitives) AwaitDivulged(name string, timeout time.Duration) ([]byte, error) {
+	owner, err := p.bus.AwaitDivulged(name, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("reconfig: await_divulged %s: %w", name, err)
+	}
+	p.log("await_divulged %s", name)
+	return owner.Data(), nil
+}
+
+// InstallState hands encoded state to a clone instance (the last third of
+// mh_objstate_move).
+func (p *Primitives) InstallState(name string, data []byte) error {
+	if err := p.bus.InstallState(name, data); err != nil {
+		return fmt.Errorf("reconfig: install_state %s: %w", name, err)
+	}
+	p.log("install_state %s", name)
+	return nil
+}
+
+// AwaitRestored waits for a launched clone to confirm its restoration. The
+// transactional script gates the destructive tail of a replacement on it.
+func (p *Primitives) AwaitRestored(name string, timeout time.Duration) error {
+	if err := p.bus.AwaitRestored(name, timeout); err != nil {
+		return fmt.Errorf("reconfig: await_restored %s: %w", name, err)
+	}
+	p.log("await_restored %s", name)
+	return nil
+}
+
+// DrainQueue discards the messages still queued at e (the "rmq" command).
+// The transactional script runs it after the commit point — a queue must
+// only be dropped once its replacement demonstrably answers traffic.
+func (p *Primitives) DrainQueue(e bus.Endpoint) (int, error) {
+	n, err := p.bus.DrainQueue(e)
+	if err != nil {
+		return 0, fmt.Errorf("reconfig: drain_queue %s: %w", e, err)
+	}
+	p.log("drain_queue %s", e)
+	return n, nil
+}
+
 // ChgObj changes an instance's lifecycle (mh_chg_obj): "add" starts the
 // module via the launcher, "del" removes it from the bus.
 func (p *Primitives) ChgObj(launcher Launcher, name, op string) error {
@@ -168,6 +248,9 @@ func (p *Primitives) ChgObj(launcher Launcher, name, op string) error {
 	case "add":
 		if launcher == nil {
 			return fmt.Errorf("reconfig: chg_obj add %s: no launcher", name)
+		}
+		if err := p.bus.Faults().Fire("reconfig.launch"); err != nil {
+			return fmt.Errorf("reconfig: chg_obj add %s: %w", name, err)
 		}
 		if err := launcher.Launch(name); err != nil {
 			return fmt.Errorf("reconfig: chg_obj add %s: %w", name, err)

@@ -222,9 +222,12 @@ func TestMoveModuleScript(t *testing.T) {
 		t.Errorf("moved computation = %g, want %g", got, want)
 	}
 
-	// Figure 5's primitive sequence (trace golden). The display binding is
-	// bidirectional; it surfaces under both ifdest and ifsources and is
-	// rebound once.
+	// Figure 5's primitive sequence (trace golden), in its transactional
+	// form: objstate_move is decomposed into signal/await/install so each
+	// third can journal its compensation; the queue drops ("rmq", now
+	// drain_queue) are deferred past the commit point (await_restored).
+	// The display binding is bidirectional; it surfaces under both ifdest
+	// and ifsources and is rebound once.
 	trace := w.p.Trace()
 	wantTrace := []string{
 		"obj_cap compute",
@@ -235,15 +238,18 @@ func TestMoveModuleScript(t *testing.T) {
 		"edit_bind add compute2.display display.temper",
 		"struct_ifsources compute.display -> 1",
 		"edit_bind cq compute.display compute2.display",
-		"edit_bind rmq compute.display",
 		"struct_ifsources compute.sensor -> 1",
 		"edit_bind del sensor.out compute.sensor",
 		"edit_bind add sensor.out compute2.sensor",
 		"edit_bind cq compute.sensor compute2.sensor",
-		"edit_bind rmq compute.sensor",
-		"objstate_move compute.encode -> compute2.decode",
-		"rebind (8 edits)",
+		"signal_reconfig compute",
+		"await_divulged compute",
+		"install_state compute2",
+		"rebind (6 edits)",
 		"chg_obj compute2 add",
+		"await_restored compute2",
+		"drain_queue compute.display",
+		"drain_queue compute.sensor",
 		"chg_obj compute del",
 	}
 	if !reflect.DeepEqual(trace, wantTrace) {

@@ -1,10 +1,10 @@
 package reconfig
 
 import (
-	"fmt"
 	"time"
 
 	"repro/internal/bus"
+	"repro/internal/quiesce"
 )
 
 // ReplaceOptions parameterizes the replacement script. The paper: "This
@@ -24,116 +24,28 @@ type ReplaceOptions struct {
 	// (software maintenance: v2 replacing v1). Empty keeps the module.
 	Module string
 	// Timeout bounds the wait for the old module to reach a
-	// reconfiguration point and divulge (default 30s).
+	// reconfiguration point and divulge. It predates Timeouts and, when
+	// set, overrides Timeouts.StateMove.
 	Timeout time.Duration
+	// Timeouts bounds every wait of the transaction; zero fields take
+	// DefaultTimeouts.
+	Timeouts Timeouts
 	// Attrs optionally extends the new instance's attributes.
 	Attrs map[string]string
+	// Guards lists quiescence guards the caller holds around the
+	// reconfiguration. An aborting transaction releases any still held,
+	// so a failed script never leaves a module frozen.
+	Guards []*quiesce.Guard
 }
 
 // Replace performs the Figure 5 reconfiguration script: replace instance
 // old with a new instance carrying the old one's state, rebinding all its
-// interfaces and preserving queued messages.
+// interfaces and preserving queued messages. It runs as a transaction (see
+// ReplaceTx); on any step failure the original configuration is restored
+// and the old module keeps running.
 func Replace(p *Primitives, launcher Launcher, old string, opts ReplaceOptions) error {
-	if opts.NewName == "" {
-		return fmt.Errorf("reconfig: replace %s: NewName required", old)
-	}
-	if opts.Timeout == 0 {
-		opts.Timeout = 30 * time.Second
-	}
-
-	// Access the old module's current specification.
-	info, err := p.ObjCap(old)
-	if err != nil {
-		return err
-	}
-	spec := bus.InstanceSpec{
-		Name:       opts.NewName,
-		Module:     info.Module,
-		Machine:    info.Machine,
-		Status:     bus.StatusClone,
-		Interfaces: info.Interfaces,
-		Attrs:      map[string]string{},
-	}
-	for k, v := range info.Attrs {
-		spec.Attrs[k] = v
-	}
-	for k, v := range opts.Attrs {
-		spec.Attrs[k] = v
-	}
-	if opts.Machine != "" {
-		spec.Machine = opts.Machine
-	}
-	if opts.Module != "" {
-		spec.Module = opts.Module
-	}
-	if err := p.AddObj(spec); err != nil {
-		return err
-	}
-
-	// Prepare the rebinding commands: for every interface, replace
-	// bindings to the old instance with bindings to the new one; move the
-	// old instance's queued messages across ("cq") and clear what remains
-	// ("rmq"). Bindings on bidirectional interfaces surface both as a
-	// destination and as a source; each is rebound once.
-	batch := p.BindCap()
-	rebound := map[string]bool{}
-	bindKey := func(a, b bus.Endpoint) string {
-		if b.String() < a.String() {
-			a, b = b, a
-		}
-		return a.String() + "|" + b.String()
-	}
-	for _, ifc := range info.Interfaces {
-		oldEp := bus.Endpoint{Instance: old, Interface: ifc.Name}
-		newEp := bus.Endpoint{Instance: opts.NewName, Interface: ifc.Name}
-		if ifc.Dir.Sends() {
-			dests, err := p.StructIfDest(oldEp)
-			if err != nil {
-				return err
-			}
-			for _, d := range dests {
-				if rebound[bindKey(oldEp, d)] {
-					continue
-				}
-				rebound[bindKey(oldEp, d)] = true
-				p.EditBind(batch, "del", oldEp, d)
-				p.EditBind(batch, "add", newEp, d)
-			}
-		}
-		if ifc.Dir.Receives() {
-			sources, err := p.StructIfSources(oldEp)
-			if err != nil {
-				return err
-			}
-			for _, s := range sources {
-				if rebound[bindKey(s, oldEp)] {
-					continue
-				}
-				rebound[bindKey(s, oldEp)] = true
-				p.EditBind(batch, "del", s, oldEp)
-				p.EditBind(batch, "add", s, newEp)
-			}
-			p.EditBind(batch, "cq", oldEp, newEp)
-			p.EditBind(batch, "rmq", oldEp, bus.Endpoint{})
-		}
-	}
-
-	// Get state from the old module and send it to the new one; the
-	// binding commands apply all at once afterwards.
-	if err := p.ObjStateMove(old, "encode", opts.NewName, "decode", opts.Timeout); err != nil {
-		return err
-	}
-	if err := p.Rebind(batch); err != nil {
-		return err
-	}
-	// Start up the new module, remove the old.
-	if err := p.ChgObj(launcher, opts.NewName, "add"); err != nil {
-		return err
-	}
-	if err := p.ChgObj(nil, old, "del"); err != nil {
-		return err
-	}
-	return nil
+	_, err := ReplaceTx(p, launcher, old, opts)
+	return err
 }
 
 // Move relocates an instance to another machine — the Section 2

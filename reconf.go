@@ -77,8 +77,14 @@ type Config struct {
 	// Codec overrides the wire/state codec (default portable).
 	Codec codec.Codec
 	// StateTimeout bounds how long a reconfiguration waits for a module
-	// to reach a reconfiguration point (default 30s).
+	// to reach a reconfiguration point (default 30s). It predates
+	// Timeouts and, when set, overrides Timeouts.StateMove.
 	StateTimeout time.Duration
+	// Timeouts bounds every wait of the reconfiguration layer — state
+	// move, restore confirmation, rollback compensations, quiescence.
+	// Zero fields take reconfig.DefaultTimeouts (30s each); individual
+	// scripts can still override per call via ReplaceOptions.
+	Timeouts reconfig.Timeouts
 }
 
 // Mode aliases, so callers need not import internal packages.
@@ -133,8 +139,11 @@ func Load(cfg Config) (*App, error) {
 	if cfg.Codec == nil {
 		cfg.Codec = codec.Default()
 	}
+	cfg.Timeouts = cfg.Timeouts.WithDefaults()
 	if cfg.StateTimeout == 0 {
-		cfg.StateTimeout = 30 * time.Second
+		cfg.StateTimeout = cfg.Timeouts.StateMove
+	} else {
+		cfg.Timeouts.StateMove = cfg.StateTimeout
 	}
 	spec, err := mil.ParseAndValidate(cfg.SpecText)
 	if err != nil {
@@ -335,16 +344,30 @@ func (a *App) Launch(instance string) error {
 	if pm.Native != nil {
 		go func() {
 			mh.Run(func() { pm.Native(rt) })
-			ri.done <- instanceErr(rt, nil)
+			ri.done <- a.finishInstance(rt, nil)
 		}()
 		return nil
 	}
 	in := interp.New(pm.Prog, pm.Info, rt)
 	go func() {
 		_, err := in.Run()
-		ri.done <- instanceErr(rt, err)
+		ri.done <- a.finishInstance(rt, err)
 	}()
 	return nil
+}
+
+// finishInstance folds a module body's exit into its instance status and —
+// for a clone that died before confirming its restoration (an interpreter
+// failure, a panic in module code) — reports the failure to the bus so the
+// reconfiguration coordinator aborts promptly instead of timing out.
+func (a *App) finishInstance(rt *mh.Runtime, runErr error) error {
+	err := instanceErr(rt, runErr)
+	ack := err
+	if ack == nil {
+		ack = rt.Err()
+	}
+	rt.ConfirmRestoreOutcome(ack)
+	return err
 }
 
 // instanceErr folds the runtime's recorded error into an instance's exit
@@ -410,22 +433,55 @@ func (a *App) AttachDriver(instance string) (bus.Port, error) {
 
 // ---- reconfiguration scripts ----
 
+// fillTimeouts merges the application's configured bounds into per-call
+// options: fields a caller set win, everything else inherits the config.
+func (a *App) fillTimeouts(opts reconfig.ReplaceOptions) reconfig.ReplaceOptions {
+	t := &opts.Timeouts
+	c := a.cfg.Timeouts
+	if t.StateMove <= 0 {
+		t.StateMove = c.StateMove
+	}
+	if t.RestoreAck <= 0 {
+		t.RestoreAck = c.RestoreAck
+	}
+	if t.Rollback <= 0 {
+		t.Rollback = c.Rollback
+	}
+	if t.Quiesce <= 0 {
+		t.Quiesce = c.Quiesce
+	}
+	return opts
+}
+
 // Move relocates an instance to another machine (the Section 2 scenario).
 func (a *App) Move(inst, newName, machine string) error {
-	return reconfig.Move(a.prims, a, inst, newName, machine, a.cfg.StateTimeout)
+	_, err := a.ReplaceTx(inst, reconfig.ReplaceOptions{NewName: newName, Machine: machine})
+	return err
 }
 
 // Replace runs the Figure 5 replacement script.
 func (a *App) Replace(inst string, opts reconfig.ReplaceOptions) error {
-	if opts.Timeout == 0 {
-		opts.Timeout = a.cfg.StateTimeout
-	}
-	return reconfig.Replace(a.prims, a, inst, opts)
+	_, err := a.ReplaceTx(inst, opts)
+	return err
+}
+
+// ReplaceTx runs the replacement script as a transaction and returns its
+// full result: the forward step trace, whether it committed, and — on
+// abort — the compensations replayed to restore the old configuration.
+func (a *App) ReplaceTx(inst string, opts reconfig.ReplaceOptions) (*reconfig.TxResult, error) {
+	return reconfig.ReplaceTx(a.prims, a, inst, a.fillTimeouts(opts))
+}
+
+// PlanReplace returns the steps ReplaceTx would perform, without executing
+// any of them (the dry-run behind reconfigctl -dry-run).
+func (a *App) PlanReplace(inst string, opts reconfig.ReplaceOptions) ([]string, error) {
+	return reconfig.PlanReplace(a.prims, inst, a.fillTimeouts(opts))
 }
 
 // Update swaps in a new module implementation, carrying state across.
 func (a *App) Update(inst, newName, newModule string) error {
-	return reconfig.Update(a.prims, a, inst, newName, newModule, a.cfg.StateTimeout)
+	_, err := a.ReplaceTx(inst, reconfig.ReplaceOptions{NewName: newName, Module: newModule})
+	return err
 }
 
 // Replicate adds a stateless replica of an instance.

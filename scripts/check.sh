@@ -13,4 +13,12 @@ go vet ./...
 echo "== go test -race ./internal/bus/... ./internal/quiesce/..."
 go test -race ./internal/bus/... ./internal/quiesce/...
 
+echo "== fault-injection matrix (kill Replace at every failpoint, twice, racy)"
+go test -run 'Fault|Rollback|Concurrent' -race -count=2 ./...
+
+echo "== replace latency artifact (with and without injected faults)"
+RECONFIG_BENCH_JSON="$PWD/BENCH_reconfig_latency.json" \
+	go test -run TestRollbackLatencyArtifact -count=1 .
+cat BENCH_reconfig_latency.json
+
 echo "ok"
