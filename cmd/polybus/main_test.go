@@ -102,7 +102,7 @@ func TestPolybusServesAndIsControllable(t *testing.T) {
 		t.Fatalf("trace = %v, %v", trace, err)
 	}
 	stats, err := client.Stats()
-	if err != nil || !strings.Contains(stats, "rebinds=1") {
+	if err != nil || !strings.Contains(stats, `"rebinds": 1`) {
 		t.Fatalf("stats = %q, %v", stats, err)
 	}
 

@@ -8,7 +8,7 @@
 //	reconfigctl -addr 127.0.0.1:7008 [-dry-run] update <inst> <newName> <module>
 //	reconfigctl -addr 127.0.0.1:7008 replicate <inst> <newName> [machine]
 //	reconfigctl -addr 127.0.0.1:7008 remove <inst>
-//	reconfigctl -addr 127.0.0.1:7008 trace
+//	reconfigctl -addr 127.0.0.1:7008 trace [txid]
 //	reconfigctl -addr 127.0.0.1:7008 stats
 //
 // The replacement-family commands (move, replace, update) run as a
@@ -17,6 +17,13 @@
 // to its pre-reconfiguration state. The transaction's step trace — and,
 // on failure, the rollback report — is printed after the command. With
 // -dry-run the planned step sequence is printed without executing it.
+//
+// `stats` prints a JSON snapshot: bus counters, the telemetry registry
+// (per-interface message counts, queue depths, per-module flag-check and
+// state-transfer timings), and the retained transaction IDs. `trace`
+// prints the primitive audit trail; `trace <txid>` prints that
+// transaction's span timeline (quiesce wait, state move, rebind, restore
+// wait, commit or rollback) with its step trace.
 package main
 
 import (
@@ -150,6 +157,14 @@ func run(args []string) error {
 		}
 		fmt.Println("removed", arg(1))
 	case "trace":
+		if txid := arg(1); txid != "" {
+			lines, err := c.TraceTx(txid)
+			if err != nil {
+				return err
+			}
+			fmt.Println(strings.Join(lines, "\n"))
+			return nil
+		}
 		trace, err := c.Trace()
 		if err != nil {
 			return err

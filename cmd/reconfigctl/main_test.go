@@ -1,7 +1,10 @@
 package main
 
 import (
+	"io"
 	"net"
+	"os"
+	"strings"
 	"testing"
 	"time"
 
@@ -61,20 +64,106 @@ func TestReconfigctlCommands(t *testing.T) {
 	}
 
 	bad := [][]string{
-		{"-addr", addr},                        // no command
-		{"-addr", addr, "frobnicate"},          // unknown
-		{"-addr", addr, "move", "compute2"},    // missing args
-		{"-addr", addr, "move", "g", "h", "m"}, // unknown instance
-		{"-addr", addr, "remove"},              // missing args
-		{"-addr", addr, "update", "x"},         // missing args
-		{"-addr", addr, "replace", "x"},        // missing args
-		{"-addr", addr, "replicate", "x"},      // missing args
-		{"-addr", "127.0.0.1:1", "topology"},   // dead server
+		{"-addr", addr},                                    // no command
+		{"-addr", addr, "frobnicate"},                      // unknown
+		{"-addr", addr, "move", "compute2"},                // missing args
+		{"-addr", addr, "move", "g", "h", "m"},             // unknown instance
+		{"-addr", addr, "remove"},                          // missing args
+		{"-addr", addr, "update", "x"},                     // missing args
+		{"-addr", addr, "replace", "x"},                    // missing args
+		{"-addr", addr, "replicate", "x"},                  // missing args
+		{"-addr", "127.0.0.1:1", "topology"},               // dead server
 		{"-addr", addr, "-dry-run", "move", "g", "h", "m"}, // plan for unknown instance
 	}
 	for _, args := range bad {
 		if err := run(args); err == nil {
 			t.Errorf("no error for %v", args)
 		}
+	}
+}
+
+// capture runs fn with os.Stdout redirected into a buffer.
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stdout
+	os.Stdout = w
+	runErr := fn()
+	os.Stdout = old
+	w.Close()
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out), runErr
+}
+
+// TestReconfigctlTraceTx drives one committed and one rolled-back
+// replacement, then renders each transaction's span timeline with
+// `trace <txid>` and checks it is correlated with the step trace the
+// TxReport carried.
+func TestReconfigctlTraceTx(t *testing.T) {
+	_, addr := startApp(t)
+	time.Sleep(50 * time.Millisecond)
+
+	c, err := reconf.DialControl(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Committed: a plain move.
+	tx, err := c.Move("compute", "compute2", "machineB")
+	if err != nil {
+		t.Fatalf("move: %v", err)
+	}
+	if tx.TxID == "" || !tx.Committed {
+		t.Fatalf("move tx = %+v, want committed with TxID", tx)
+	}
+
+	// Rolled back: an update to a module that does not exist.
+	badTx, badErr := c.Update("compute2", "compute3", "no-such-module")
+	if badErr == nil {
+		t.Fatal("update to missing module succeeded")
+	}
+	if badTx == nil || badTx.TxID == "" || !badTx.RolledBack {
+		t.Fatalf("failed update tx = %+v, want rolled back with TxID", badTx)
+	}
+
+	for _, tc := range []struct {
+		tx      *reconf.TxReport
+		outcome string
+	}{
+		{tx, "committed"},
+		{badTx, "rolled-back"},
+	} {
+		out, err := capture(t, func() error {
+			return run([]string{"-addr", addr, "trace", tc.tx.TxID})
+		})
+		if err != nil {
+			t.Fatalf("trace %s: %v", tc.tx.TxID, err)
+		}
+		for _, want := range []string{tc.tx.TxID, tc.outcome, "steps:"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("trace %s missing %q:\n%s", tc.tx.TxID, want, out)
+			}
+		}
+		// The timeline's step section is the TxReport step trace.
+		for _, step := range tc.tx.Steps {
+			if !strings.Contains(out, step) {
+				t.Errorf("trace %s missing step %q:\n%s", tc.tx.TxID, step, out)
+			}
+		}
+	}
+	if tl, _ := capture(t, func() error { return run([]string{"-addr", addr, "trace", tx.TxID}) }); !strings.Contains(tl, "quiesce_wait") {
+		t.Errorf("committed timeline missing quiesce_wait span:\n%s", tl)
+	}
+
+	// Unknown transaction IDs are refused.
+	if err := run([]string{"-addr", addr, "trace", "tx-9999"}); err == nil {
+		t.Error("trace of unknown txid accepted")
 	}
 }

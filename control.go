@@ -2,13 +2,16 @@ package reconf
 
 import (
 	"encoding/gob"
+	"encoding/json"
 	"fmt"
 	"net"
 	"strings"
 	"sync"
 	"time"
 
+	"repro/internal/bus"
 	"repro/internal/reconfig"
+	"repro/internal/telemetry"
 )
 
 // The control protocol lets an operator tool (cmd/reconfigctl) drive
@@ -17,7 +20,7 @@ import (
 
 type ctlRequest struct {
 	Op      string // topology|instances|move|replace|update|replicate|remove|plan|trace|stats
-	Inst    string
+	Inst    string // instance name; for "trace", an optional transaction ID
 	NewName string
 	Machine string
 	Module  string
@@ -34,6 +37,7 @@ type ctlResponse struct {
 // forward step trace, whether the transaction committed, and the
 // compensations replayed if it rolled back.
 type TxReport struct {
+	TxID       string // tracer transaction ID, usable with `reconfigctl trace <txid>`
 	Steps      []string
 	Committed  bool
 	RolledBack bool
@@ -51,7 +55,7 @@ func txReport(res *reconfig.TxResult) *TxReport {
 	if res == nil {
 		return nil
 	}
-	r := &TxReport{Steps: res.Steps, Committed: res.Committed, RolledBack: res.RolledBack}
+	r := &TxReport{TxID: res.TxID, Steps: res.Steps, Committed: res.Committed, RolledBack: res.RolledBack}
 	for _, s := range res.Rollback {
 		r.Rollback = append(r.Rollback, TxRollbackStep{Action: s.Action, Err: s.Err})
 	}
@@ -67,6 +71,9 @@ func (r *TxReport) Format() string {
 		return ""
 	}
 	var b strings.Builder
+	if r.TxID != "" {
+		fmt.Fprintf(&b, "transaction %s\n", r.TxID)
+	}
 	for _, s := range r.Steps {
 		fmt.Fprintf(&b, "  %s\n", s)
 	}
@@ -87,6 +94,16 @@ func (r *TxReport) Format() string {
 		fmt.Fprintf(&b, "error: %s\n", r.Err)
 	}
 	return b.String()
+}
+
+// statsSnapshot is the JSON document returned by the "stats" control op:
+// coarse bus counters, the full telemetry registry snapshot (per-interface
+// message counters, queue-depth gauges, capture/restore histograms), and
+// the transaction IDs with retained span timelines.
+type statsSnapshot struct {
+	Bus          bus.Stats          `json:"bus"`
+	Telemetry    telemetry.Snapshot `json:"telemetry"`
+	Transactions []string           `json:"transactions,omitempty"`
 }
 
 // ControlServer serves control requests for one App.
@@ -185,12 +202,26 @@ func (s *ControlServer) handle(req ctlRequest) ctlResponse {
 			return fail(err)
 		}
 	case "trace":
+		// Without an argument the op returns the primitive audit trail;
+		// with a transaction ID it returns that transaction's span timeline.
+		if req.Inst != "" {
+			lines, err := a.TraceTx(req.Inst)
+			if err != nil {
+				return fail(err)
+			}
+			return ctlResponse{List: lines}
+		}
 		return ctlResponse{List: a.Trace()}
 	case "stats":
-		st := a.bus.Stats()
-		return ctlResponse{Text: fmt.Sprintf(
-			"delivered=%d dropped=%d rebinds=%d signals=%d moves=%d",
-			st.Delivered, st.Dropped, st.Rebinds, st.Signals, st.Moves)}
+		data, err := json.MarshalIndent(statsSnapshot{
+			Bus:          a.bus.Stats(),
+			Telemetry:    a.Telemetry().Snapshot(),
+			Transactions: a.prims.Tracer().IDs(),
+		}, "", "  ")
+		if err != nil {
+			return fail(err)
+		}
+		return ctlResponse{Text: string(data)}
 	default:
 		return ctlResponse{Err: fmt.Sprintf("reconf: unknown control op %q", req.Op)}
 	}
@@ -303,7 +334,14 @@ func (c *ControlClient) Trace() ([]string, error) {
 	return resp.List, err
 }
 
-// Stats fetches remote bus statistics.
+// TraceTx fetches the span timeline of one remote transaction by ID.
+func (c *ControlClient) TraceTx(txid string) ([]string, error) {
+	resp, err := c.call(ctlRequest{Op: "trace", Inst: txid})
+	return resp.List, err
+}
+
+// Stats fetches the remote statistics snapshot as an indented JSON
+// document (see statsSnapshot).
 func (c *ControlClient) Stats() (string, error) {
 	resp, err := c.call(ctlRequest{Op: "stats"})
 	return resp.Text, err

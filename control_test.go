@@ -1,6 +1,7 @@
 package reconf
 
 import (
+	"encoding/json"
 	"net"
 	"strings"
 	"testing"
@@ -57,6 +58,27 @@ func TestControlProtocol(t *testing.T) {
 	if tx != nil && !strings.Contains(tx.Format(), "committed") {
 		t.Errorf("tx.Format() = %q, want committed line", tx.Format())
 	}
+	if tx == nil || tx.TxID == "" {
+		t.Fatalf("remote move tx report carries no TxID: %+v", tx)
+	}
+	if !strings.Contains(tx.Format(), "transaction "+tx.TxID) {
+		t.Errorf("tx.Format() missing transaction header:\n%s", tx.Format())
+	}
+
+	// The transaction ID resolves to a span timeline over the control plane.
+	timeline, err := c.TraceTx(tx.TxID)
+	if err != nil {
+		t.Fatalf("remote trace %s: %v", tx.TxID, err)
+	}
+	joined := strings.Join(timeline, "\n")
+	for _, want := range []string{tx.TxID, "committed", "quiesce_wait", "state_move", "rebind", "restore_wait", "steps:"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("timeline missing %q:\n%s", want, joined)
+		}
+	}
+	if _, err := c.TraceTx("tx-9999"); err == nil {
+		t.Error("trace of unknown txid accepted")
+	}
 	d.temperature(30)
 	if got := d.response(); got != 20 {
 		t.Errorf("moved computation = %g", got)
@@ -72,9 +94,37 @@ func TestControlProtocol(t *testing.T) {
 	if FormatTrace(nil) != "(no reconfigurations yet)" {
 		t.Error("empty trace formatting")
 	}
+	// Stats is a JSON document with bus counters, telemetry, and txids.
 	stats, err := c.Stats()
-	if err != nil || !strings.Contains(stats, "delivered=") {
-		t.Errorf("stats = %q, %v", stats, err)
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	var snap struct {
+		Bus struct {
+			Delivered int64 `json:"delivered"`
+		} `json:"bus"`
+		Telemetry struct {
+			Counters map[string]int64 `json:"counters"`
+		} `json:"telemetry"`
+		Transactions []string `json:"transactions"`
+	}
+	if err := json.Unmarshal([]byte(stats), &snap); err != nil {
+		t.Fatalf("stats is not JSON: %v\n%s", err, stats)
+	}
+	if snap.Bus.Delivered == 0 {
+		t.Errorf("stats bus.delivered = 0:\n%s", stats)
+	}
+	if len(snap.Telemetry.Counters) == 0 {
+		t.Errorf("stats telemetry has no counters:\n%s", stats)
+	}
+	found := false
+	for _, id := range snap.Transactions {
+		if id == tx.TxID {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("stats transactions %v missing %s", snap.Transactions, tx.TxID)
 	}
 
 	// A dry-run plan lists the transactional step sequence.
@@ -82,7 +132,7 @@ func TestControlProtocol(t *testing.T) {
 	if err != nil {
 		t.Fatalf("remote plan: %v", err)
 	}
-	joined := strings.Join(steps, "\n")
+	joined = strings.Join(steps, "\n")
 	for _, want := range []string{"obj_cap", "signal_reconfig", "await_restored", "commit"} {
 		if !strings.Contains(joined, want) {
 			t.Errorf("plan missing %q:\n%s", want, joined)

@@ -11,6 +11,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"os"
 	"reflect"
 	"sort"
@@ -274,7 +275,7 @@ func TestRollbackLatencyArtifact(t *testing.T) {
 	if out == "" {
 		t.Skip("set RECONFIG_BENCH_JSON=<path> to emit the latency artifact")
 	}
-	const samples = 5
+	const samples = 20
 	measure := func(site string) []float64 {
 		ms := make([]float64, 0, samples)
 		for i := 0; i < samples; i++ {
@@ -299,6 +300,17 @@ func TestRollbackLatencyArtifact(t *testing.T) {
 		sort.Float64s(ms)
 		return ms
 	}
+	// quantile reads the ceil-rank order statistic from a sorted sample.
+	quantile := func(ms []float64, q float64) float64 {
+		idx := int(math.Ceil(q*float64(len(ms)))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(ms) {
+			idx = len(ms) - 1
+		}
+		return ms[idx]
+	}
 	stats := func(ms []float64) map[string]float64 {
 		var sum float64
 		for _, v := range ms {
@@ -306,7 +318,9 @@ func TestRollbackLatencyArtifact(t *testing.T) {
 		}
 		return map[string]float64{
 			"min_ms":  ms[0],
-			"p50_ms":  ms[len(ms)/2],
+			"p50_ms":  quantile(ms, 0.50),
+			"p95_ms":  quantile(ms, 0.95),
+			"p99_ms":  quantile(ms, 0.99),
 			"max_ms":  ms[len(ms)-1],
 			"mean_ms": sum / float64(len(ms)),
 		}

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"repro/internal/faultinject"
+	"repro/internal/telemetry"
 )
 
 // Direction describes which way messages flow on an interface, derived from
@@ -161,6 +162,11 @@ type Binding struct {
 type iface struct {
 	spec  IfaceSpec
 	queue *msgQueue // incoming messages, nil for pure-Out interfaces
+
+	// Telemetry handles resolved once at AddInstance; nil (no-op) when the
+	// bus runs with telemetry disabled, so the write path never branches.
+	sent      *telemetry.Counter
+	delivered *telemetry.Counter
 }
 
 type instance struct {
@@ -179,30 +185,56 @@ type Bus struct {
 	mu        sync.Mutex
 	instances map[string]*instance
 	bindings  []Binding
-	observers []func(Event)
 	stats     Stats
 	clock     func() time.Time
 	faults    *faultinject.Set
+	telem     *telemetry.Registry
+
+	// Observers have their own lock: emit may run with or without b.mu held,
+	// and observer registration must not race the dispatch snapshot.
+	obsMu     sync.Mutex
+	observers []*observerQueue
 }
 
 // Stats counts bus activity, for the benchmark harness.
 type Stats struct {
-	Delivered int64
-	Dropped   int64
-	Rebinds   int64
-	Signals   int64
-	Moves     int64 // queue moves
+	Delivered int64 `json:"delivered"`
+	Dropped   int64 `json:"dropped"`
+	Rebinds   int64 `json:"rebinds"`
+	Signals   int64 `json:"signals"`
+	Moves     int64 `json:"moves"` // queue moves
+}
+
+// BusOption configures a Bus at construction.
+type BusOption func(*Bus)
+
+// WithTelemetry sets the bus's metrics registry. Passing nil disables bus
+// telemetry entirely: every metric handle resolves to nil and the hot paths
+// degrade to no-ops (this is how the overhead benchmark measures the
+// uninstrumented baseline).
+func WithTelemetry(reg *telemetry.Registry) BusOption {
+	return func(b *Bus) { b.telem = reg }
 }
 
 // New creates an empty bus. Failpoints default to the process-wide set
 // configured by the FAULTPOINTS environment variable (usually empty).
-func New() *Bus {
-	return &Bus{
+// Telemetry is on by default with a fresh registry; override with
+// WithTelemetry.
+func New(opts ...BusOption) *Bus {
+	b := &Bus{
 		instances: map[string]*instance{},
 		clock:     time.Now,
 		faults:    faultinject.Default(),
+		telem:     telemetry.NewRegistry(),
 	}
+	for _, opt := range opts {
+		opt(b)
+	}
+	return b
 }
+
+// Telemetry returns the bus's metrics registry (nil when disabled).
+func (b *Bus) Telemetry() *telemetry.Registry { return b.telem }
 
 // SetFaults overrides the bus's fault-injection set (tests arm their own so
 // parallel tests do not share failpoints). A nil set disables injection.
@@ -228,19 +260,36 @@ func (b *Bus) fire(site string) error {
 	return f.Fire(site)
 }
 
-// Observe registers a callback invoked (synchronously, under no lock order
-// guarantees beyond per-event atomicity) for every bus event. Tests and the
-// reconfiguration trace use this.
+// Observe registers a callback invoked for every bus event. Dispatch is
+// asynchronous with per-observer FIFO ordering: each observer gets its own
+// mailbox drained by an on-demand goroutine, so a slow observer delays only
+// itself — it can never block bus operations or other observers. Call
+// SyncObservers to wait for all queued events to be delivered.
 func (b *Bus) Observe(fn func(Event)) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	b.observers = append(b.observers, fn)
+	b.obsMu.Lock()
+	defer b.obsMu.Unlock()
+	b.observers = append(b.observers, newObserverQueue(fn))
+}
+
+// SyncObservers blocks until every event emitted before the call has been
+// delivered to every observer. Tests use it to make the asynchronous
+// dispatch observable deterministically.
+func (b *Bus) SyncObservers() {
+	b.obsMu.Lock()
+	obs := append([]*observerQueue(nil), b.observers...)
+	b.obsMu.Unlock()
+	for _, o := range obs {
+		o.sync()
+	}
 }
 
 func (b *Bus) emit(e Event) {
 	e.Time = b.clock()
-	for _, fn := range b.observers {
-		fn(e)
+	b.obsMu.Lock()
+	obs := b.observers
+	b.obsMu.Unlock()
+	for _, o := range obs {
+		o.enqueue(e)
 	}
 }
 
@@ -290,6 +339,22 @@ func (b *Bus) AddInstance(spec InstanceSpec) error {
 		}
 		in.ifaces[is.Name] = ifc
 	}
+	// Resolve telemetry handles once, after validation, off the message
+	// path. On a telemetry-free bus these stay nil and the counters are
+	// no-ops.
+	for name, ifc := range in.ifaces {
+		prefix := "bus.iface." + spec.Name + "." + name
+		if ifc.spec.Dir.Sends() {
+			ifc.sent = b.telem.Counter(prefix + ".sent")
+		}
+		if ifc.spec.Dir.Receives() {
+			ifc.delivered = b.telem.Counter(prefix + ".delivered")
+			q := ifc.queue
+			b.telem.GaugeFunc(prefix+".queue_depth", func() int64 {
+				return int64(q.length())
+			})
+		}
+	}
 	b.instances[spec.Name] = in
 	b.emit(Event{Kind: EventAddInstance, Instance: spec.Name, Detail: spec.Machine})
 	return nil
@@ -325,6 +390,7 @@ func (b *Bus) DeleteInstance(name string) error {
 	}
 	in.stateBox.close()
 	b.mu.Unlock()
+	b.telem.Unregister("bus.iface." + name + ".")
 	b.emit(Event{Kind: EventDeleteInstance, Instance: name})
 	return nil
 }
@@ -884,11 +950,11 @@ func (b *Bus) write(from Endpoint, data []byte) error {
 		b.mu.Unlock()
 		return fmt.Errorf("%w: write on %s (%s)", ErrDirection, from, src.spec.Dir)
 	}
-	var targets []*msgQueue
+	var targets []*iface
 	for _, bd := range b.bindings {
 		if other, ok := b.routeLocked(bd, from); ok {
 			ifc, _ := b.lookupLocked(other)
-			targets = append(targets, ifc.queue)
+			targets = append(targets, ifc)
 		}
 	}
 	if len(targets) == 0 {
@@ -898,12 +964,15 @@ func (b *Bus) write(from Endpoint, data []byte) error {
 	}
 	b.stats.Delivered += int64(len(targets))
 	b.mu.Unlock()
+	src.sent.Add(int64(len(targets)))
 	msg := Message{From: from, Data: data}
-	for _, q := range targets {
+	for _, ifc := range targets {
 		// A closed queue means the receiver was deleted mid-write;
 		// the message is simply dropped, like a datagram to a dead
 		// process.
-		_ = q.push(msg)
+		if ifc.queue.push(msg) == nil {
+			ifc.delivered.Inc()
+		}
 	}
 	return nil
 }

@@ -598,6 +598,7 @@ func TestEventsRecorded(t *testing.T) {
 	if err := b.DeleteInstance("b"); err != nil {
 		t.Fatal(err)
 	}
+	b.SyncObservers() // dispatch is async; wait for delivery
 	got := rec.Strings()
 	want := []string{
 		"add-instance a m9",

@@ -24,6 +24,9 @@ const (
 	EventMoveState
 	EventRestoreAck
 	EventRelaunch
+
+	// numEventKinds bounds the enum for exhaustiveness tests; keep it last.
+	numEventKinds
 )
 
 var eventNames = map[EventKind]string{
@@ -68,6 +71,59 @@ func (e Event) String() string {
 		s += " " + e.Detail
 	}
 	return s
+}
+
+// observerQueue is one observer's mailbox. Emitters append under the queue
+// lock and return; a drain goroutine is spawned on demand and exits when the
+// mailbox empties, so a slow observer delays only its own deliveries and an
+// idle bus holds no goroutines. Events are delivered in emission order.
+type observerQueue struct {
+	fn      func(Event)
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending []Event
+	active  bool // a drain goroutine is running
+}
+
+func newObserverQueue(fn func(Event)) *observerQueue {
+	o := &observerQueue{fn: fn}
+	o.cond = sync.NewCond(&o.mu)
+	return o
+}
+
+func (o *observerQueue) enqueue(e Event) {
+	o.mu.Lock()
+	o.pending = append(o.pending, e)
+	if !o.active {
+		o.active = true
+		go o.drain()
+	}
+	o.mu.Unlock()
+}
+
+func (o *observerQueue) drain() {
+	for {
+		o.mu.Lock()
+		if len(o.pending) == 0 {
+			o.active = false
+			o.cond.Broadcast()
+			o.mu.Unlock()
+			return
+		}
+		e := o.pending[0]
+		o.pending = o.pending[1:]
+		o.mu.Unlock()
+		o.fn(e) // outside the lock: the callback may be arbitrarily slow
+	}
+}
+
+// sync blocks until the mailbox is empty and the drain goroutine has parked.
+func (o *observerQueue) sync() {
+	o.mu.Lock()
+	for o.active {
+		o.cond.Wait()
+	}
+	o.mu.Unlock()
 }
 
 // Recorder collects bus events, for golden tests and the reconfiguration

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/faultinject"
+	"repro/internal/telemetry"
 )
 
 // This file implements the wire protocol that lets a module attach to the
@@ -98,10 +99,14 @@ func errFromKind(kind, msg string) error {
 	return fmt.Errorf("%w (remote: %s)", sentinel, msg)
 }
 
+// rpcOps is the fixed RPC vocabulary, used to pre-resolve per-op counters.
+var rpcOps = []string{"write", "read", "tryread", "pending", "divulge", "awaitstate", "confirmrestore"}
+
 // Server accepts TCP attachments for a bus.
 type Server struct {
 	bus *Bus
 	l   net.Listener
+	rpc map[string]*telemetry.Counter // per-op request counters (nil values = no-op)
 
 	mu        sync.Mutex
 	conns     map[net.Conn]struct{}
@@ -112,6 +117,11 @@ type Server struct {
 // NewServer starts serving attachments on l. Close the server to stop.
 func NewServer(b *Bus, l net.Listener) *Server {
 	s := &Server{bus: b, l: l, conns: map[net.Conn]struct{}{}, done: make(chan struct{})}
+	s.rpc = make(map[string]*telemetry.Counter, len(rpcOps)+1)
+	for _, op := range rpcOps {
+		s.rpc[op] = b.Telemetry().Counter("bus.rpc." + op)
+	}
+	s.rpc["unknown"] = b.Telemetry().Counter("bus.rpc.unknown")
 	go s.acceptLoop()
 	return s
 }
@@ -225,6 +235,11 @@ func (s *Server) serveConn(conn net.Conn) {
 }
 
 func (s *Server) handle(att *Attachment, req clientFrame) serverFrame {
+	if c, ok := s.rpc[req.Op]; ok {
+		c.Inc()
+	} else {
+		s.rpc["unknown"].Inc()
+	}
 	resp := serverFrame{ID: req.ID}
 	fail := func(err error) serverFrame {
 		resp.Err = err.Error()

@@ -3,6 +3,7 @@ package mh
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/bus"
 	"repro/internal/state"
@@ -56,6 +57,7 @@ func (r *Runtime) CaptureAbstract(fn string, loc int, vars []state.Var) {
 	if r.capturing == nil {
 		r.capturing = state.New(r.port.Name())
 		r.capturing.Machine = r.port.Machine()
+		r.captureStart = time.Now()
 	}
 	r.capturing.PushFrame(state.Frame{Func: fn, Location: loc, Vars: vars})
 }

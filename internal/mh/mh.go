@@ -30,6 +30,7 @@ import (
 	"repro/internal/bus"
 	"repro/internal/codec"
 	"repro/internal/state"
+	"repro/internal/telemetry"
 )
 
 // Termination is the panic value used to unwind a module whose instance was
@@ -67,6 +68,15 @@ func WithLogWriter(w io.Writer) Option { return func(r *Runtime) { r.logw = w } 
 // WithStateTimeout bounds Decode's wait for installed state (default 30s).
 func WithStateTimeout(d time.Duration) Option { return func(r *Runtime) { r.stateTimeout = d } }
 
+// WithTelemetry attaches a metrics registry. The runtime publishes
+// mh.<instance>.flag_checks (every evaluation of a reconfiguration flag —
+// the paper's entire steady-state overhead), mh.<instance>.capture_ns (first
+// Capture through successful divulge) and mh.<instance>.restore_ns (Decode
+// through FinishRestore). Metric handles are resolved once at construction;
+// the flag-test path stays a single extra atomic add and zero allocations.
+// Default: no telemetry (nil registry, no-op handles).
+func WithTelemetry(reg *telemetry.Registry) Option { return func(r *Runtime) { r.telem = reg } }
+
 // Runtime is the per-module-instance participation runtime. A module is
 // single-threaded (paper assumption), so Runtime is not safe for concurrent
 // use except where noted.
@@ -98,6 +108,13 @@ type Runtime struct {
 	// paper's "run-time cost is merely that of periodically testing the
 	// flags" claim (experiment C1).
 	FlagChecks int64
+
+	telem        *telemetry.Registry
+	flagChecks   *telemetry.Counter   // nil (no-op) without telemetry
+	captureNs    *telemetry.Histogram // first Capture -> divulged
+	restoreNs    *telemetry.Histogram // Decode -> FinishRestore
+	captureStart time.Time
+	restoreStart time.Time
 }
 
 // New wraps a bus port in a participation runtime.
@@ -115,8 +132,18 @@ func New(port bus.Port, opts ...Option) *Runtime {
 	for _, o := range opts {
 		o(r)
 	}
+	if r.telem != nil {
+		prefix := "mh." + port.Name() + "."
+		r.flagChecks = r.telem.Counter(prefix + "flag_checks")
+		r.captureNs = r.telem.Histogram(prefix + "capture_ns")
+		r.restoreNs = r.telem.Histogram(prefix + "restore_ns")
+	}
 	return r
 }
+
+// Telemetry returns the runtime's metrics registry (nil without
+// WithTelemetry).
+func (r *Runtime) Telemetry() *telemetry.Registry { return r.telem }
 
 // Err returns the first recorded non-fatal error, if any.
 func (r *Runtime) Err() error { return r.err }
@@ -322,6 +349,7 @@ func (r *Runtime) Sleep(ticks int) {
 // point performs; its cost is the paper's entire steady-state overhead.
 func (r *Runtime) Reconfig() bool {
 	r.FlagChecks++
+	r.flagChecks.Inc()
 	r.pollSignals()
 	return r.reconfig
 }
@@ -336,6 +364,7 @@ func (r *Runtime) RequestReconfig() { r.reconfig = true }
 // CaptureStack reports the mh_capturestack flag.
 func (r *Runtime) CaptureStack() bool {
 	r.FlagChecks++
+	r.flagChecks.Inc()
 	return r.captureStack
 }
 
@@ -347,6 +376,7 @@ func (r *Runtime) SetCaptureStack(on bool) { r.captureStack = on }
 // (Figure 4: if (strcmp(mh_getstatus(),"clone")==0) mh_restoring=1).
 func (r *Runtime) Restoring() bool {
 	r.FlagChecks++
+	r.flagChecks.Inc()
 	return r.restoring
 }
 
@@ -355,6 +385,9 @@ func (r *Runtime) Restoring() bool {
 // the restoration to the bus, provided every divulged frame was consumed.
 func (r *Runtime) SetRestoring(on bool) {
 	if !on && r.restoring && r.restoreIdx == len(r.restore) {
+		if !r.restoreStart.IsZero() {
+			r.restoreNs.Observe(time.Since(r.restoreStart))
+		}
 		r.ackRestore(nil)
 	}
 	r.restoring = on
@@ -379,6 +412,7 @@ func (r *Runtime) Capture(fn, format string, vals ...any) {
 	if r.capturing == nil {
 		r.capturing = state.New(r.port.Name())
 		r.capturing.Machine = r.port.Machine()
+		r.captureStart = time.Now()
 	}
 	frame := state.Frame{Func: fn, Location: loc}
 	avs := make([]state.Value, 0, len(vals))
@@ -411,6 +445,7 @@ func (r *Runtime) CaptureNamed(fn string, loc int, names []string, vals ...any) 
 	if r.capturing == nil {
 		r.capturing = state.New(r.port.Name())
 		r.capturing.Machine = r.port.Machine()
+		r.captureStart = time.Now()
 	}
 	frame := state.Frame{Func: fn, Location: loc}
 	for i, val := range vals {
@@ -469,6 +504,9 @@ func (r *Runtime) Encode() {
 	var derr error
 	for attempt, backoff := 0, 10*time.Millisecond; attempt < 3; attempt++ {
 		if derr = r.port.Divulge(data); derr == nil {
+			if !r.captureStart.IsZero() {
+				r.captureNs.Observe(time.Since(r.captureStart))
+			}
 			return
 		}
 		if errors.Is(derr, bus.ErrStopped) {
@@ -532,6 +570,7 @@ func (r *Runtime) ConfirmRestoreOutcome(err error) {
 // heap objects are reinstalled, the frame cursor is set to the bottom-most
 // frame, and mh_restoring is set.
 func (r *Runtime) Decode() {
+	r.restoreStart = time.Now()
 	data, err := r.port.AwaitState(r.stateTimeout)
 	if err != nil {
 		r.failRestore(fmt.Errorf("mh: decode: %w", err))
@@ -617,6 +656,9 @@ func (r *Runtime) FinishRestore() {
 	r.restoring = false
 	r.restore = nil
 	r.signalsOn = true
+	if !r.restoreStart.IsZero() {
+		r.restoreNs.Observe(time.Since(r.restoreStart))
+	}
 	r.ackRestore(nil)
 }
 

@@ -22,6 +22,10 @@ type RollbackStep struct {
 
 // TxResult is the outcome of one transactional reconfiguration script.
 type TxResult struct {
+	// TxID is the transaction's identifier in the reconfiguration tracer
+	// ("tx-0001"); reconfigctl trace <txid> renders the matching span
+	// timeline. Empty when the primitive set has no tracer.
+	TxID string
 	// Steps is the primitive audit trace of the forward path, in order —
 	// including any steps performed before the failing one.
 	Steps []string

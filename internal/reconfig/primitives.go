@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/bus"
+	"repro/internal/telemetry"
 )
 
 // Launcher starts the runtime of a registered module instance. The facade
@@ -41,15 +42,24 @@ type Primitives struct {
 
 	mu    sync.Mutex
 	trace []string
+
+	// tracer assigns each transactional script a transaction ID and records
+	// its span timeline (quiesce wait, state move, rebind, restore wait,
+	// commit or rollback) for reconfigctl trace <txid>.
+	tracer *telemetry.Tracer
 }
 
 // NewPrimitives wraps a bus.
 func NewPrimitives(b *bus.Bus) *Primitives {
-	return &Primitives{bus: b}
+	return &Primitives{bus: b, tracer: telemetry.NewTracer(0)}
 }
 
 // Bus returns the underlying bus.
 func (p *Primitives) Bus() *bus.Bus { return p.bus }
+
+// Tracer returns the reconfiguration tracer (retained span timelines keyed
+// by transaction ID).
+func (p *Primitives) Tracer() *telemetry.Tracer { return p.tracer }
 
 func (p *Primitives) log(format string, args ...any) {
 	p.mu.Lock()

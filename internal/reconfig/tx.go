@@ -256,9 +256,15 @@ func ReplaceTx(p *Primitives, launcher Launcher, old string, opts ReplaceOptions
 	}
 	defer p.txMu.Unlock()
 
+	// Open the span timeline for this transaction. With no tracer attached
+	// every tx call below is a no-op and TxID stays empty.
+	tx := p.tracer.Begin(fmt.Sprintf("replace %s -> %s", old, opts.NewName))
+	res.TxID = tx.ID()
+
 	mark := p.traceMark()
 	j := &journal{}
 	abort := func(stepErr error) (*TxResult, error) {
+		tx.StartSpan("rollback")
 		res.Steps = p.traceSince(mark)
 		res.Err = stepErr
 		res.RolledBack = true
@@ -271,11 +277,13 @@ func ReplaceTx(p *Primitives, launcher Launcher, old string, opts ReplaceOptions
 				res.Rollback = append(res.Rollback, RollbackStep{Action: "release_guard"})
 			}
 		}
+		tx.Finish("rolled-back", res.Steps)
 		return res, fmt.Errorf("reconfig: replace %s rolled back: %w", old, stepErr)
 	}
 
 	// Access the old module's current specification and precompute the
 	// whole forward path from it.
+	tx.StartSpan("plan")
 	info, err := p.ObjCap(old)
 	if err != nil {
 		return abort(err)
@@ -286,6 +294,7 @@ func ReplaceTx(p *Primitives, launcher Launcher, old string, opts ReplaceOptions
 	}
 
 	// Register the clone.
+	tx.StartSpan("add_clone")
 	if err := p.AddObj(plan.spec); err != nil {
 		return abort(err)
 	}
@@ -295,8 +304,10 @@ func ReplaceTx(p *Primitives, launcher Launcher, old string, opts ReplaceOptions
 	}
 
 	// Ask the old module to divulge at its next reconfiguration point and
-	// wait for its state.
+	// wait for its state. The quiesce_wait span is the paper's interruption
+	// latency: the old module runs until its next reconfiguration point.
 	st := &oldRelease{origStatus: info.Status}
+	tx.StartSpan("quiesce_wait")
 	if err := p.SignalReconfig(old); err != nil {
 		return abort(err)
 	}
@@ -306,27 +317,32 @@ func ReplaceTx(p *Primitives, launcher Launcher, old string, opts ReplaceOptions
 		return abort(err)
 	}
 	st.divulged, st.state = true, data
+	tx.StartSpan("state_move")
 	if err := p.InstallState(opts.NewName, data); err != nil {
 		return abort(err)
 	}
 
 	// Apply the rebinding commands all at once, then start the clone.
+	tx.StartSpan("rebind")
 	batch := &BindBatch{edits: plan.edits}
 	if err := p.Rebind(batch); err != nil {
 		return abort(err)
 	}
 	j.record("inverse_rebind", func() error { return p.bus.Rebind(inverseEdits(plan.edits)) })
+	tx.StartSpan("launch")
 	if err := p.ChgObj(launcher, opts.NewName, "add"); err != nil {
 		return abort(err)
 	}
 
 	// Commit gate: the clone must confirm it rebuilt the divulged state
 	// and resumed before the old configuration is destroyed.
+	tx.StartSpan("restore_wait")
 	if err := p.AwaitRestored(opts.NewName, t.RestoreAck); err != nil {
 		return abort(err)
 	}
 	j.discard()
 	res.Committed = true
+	tx.StartSpan("commit_tail")
 
 	// Destructive tail: drop what remains in the old module's queues and
 	// delete it. Failures here cannot (and must not) roll the replacement
@@ -341,6 +357,7 @@ func ReplaceTx(p *Primitives, launcher Launcher, old string, opts ReplaceOptions
 		tailErr = err
 	}
 	res.Steps = p.traceSince(mark)
+	tx.Finish("committed", res.Steps)
 	if tailErr != nil {
 		res.Err = fmt.Errorf("reconfig: replace %s committed, cleanup failed: %w", old, tailErr)
 		return res, res.Err

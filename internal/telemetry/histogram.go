@@ -1,0 +1,153 @@
+package telemetry
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// numBuckets covers int64 nanosecond durations: bucket i holds values v
+// with bits.Len64(v) == i, i.e. 2^(i-1) <= v < 2^i; bucket 0 holds v <= 0.
+// 64 buckets cover the full int64 range, so Observe never branches on
+// overflow.
+const numBuckets = 64
+
+// Histogram is a fixed-bucket latency histogram with power-of-two bucket
+// boundaries. Observe is a handful of atomic operations and never
+// allocates; percentile estimates are computed at snapshot time by linear
+// interpolation within the containing bucket, so they carry the bucket's
+// relative error (at most 2x, in practice much less for clustered
+// populations). The zero value is ready to use; all methods are safe on a
+// nil receiver.
+type Histogram struct {
+	counts [numBuckets]atomic.Int64
+	count  atomic.Int64
+	sum    atomic.Int64
+	min    atomic.Int64 // valid only when count > 0; 0 sentinel = unset
+	max    atomic.Int64
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	h.ObserveNs(int64(d))
+}
+
+// ObserveNs records one duration given in nanoseconds.
+func (h *Histogram) ObserveNs(ns int64) {
+	if h == nil {
+		return
+	}
+	idx := 0
+	if ns > 0 {
+		idx = bits.Len64(uint64(ns))
+	}
+	h.counts[idx].Add(1)
+	h.count.Add(1)
+	h.sum.Add(ns)
+	for {
+		cur := h.min.Load()
+		if cur != 0 && cur <= ns {
+			break
+		}
+		// min==0 means "unset" (a true 0 observation lands in bucket 0 and
+		// the sentinel stores 0 anyway, the correct minimum).
+		if h.min.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if cur >= ns {
+			break
+		}
+		if h.max.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+}
+
+// Count returns the number of observations (0 on nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Quantile estimates the q-th quantile (q in [0,1]) in nanoseconds by
+// linear interpolation within the containing power-of-two bucket. Returns 0
+// with no observations.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		// Concurrent writers can grow count between the loads; clamp.
+		rank = total
+	}
+	var cum int64
+	for i := 0; i < numBuckets; i++ {
+		c := h.counts[i].Load()
+		if c == 0 {
+			continue
+		}
+		if cum+c >= rank {
+			if i == 0 {
+				return 0
+			}
+			lower := int64(1) << (i - 1)
+			upper := int64(1) << i
+			if i == 1 {
+				lower = 1
+			}
+			pos := float64(rank-cum) / float64(c)
+			return lower + int64(pos*float64(upper-lower))
+		}
+		cum += c
+	}
+	// Writers raced the scan; report the maximum seen.
+	return h.max.Load()
+}
+
+// HistogramStats is the JSON-marshalable summary of a histogram.
+type HistogramStats struct {
+	Count int64 `json:"count"`
+	SumNs int64 `json:"sum_ns"`
+	MinNs int64 `json:"min_ns"`
+	MaxNs int64 `json:"max_ns"`
+	P50Ns int64 `json:"p50_ns"`
+	P95Ns int64 `json:"p95_ns"`
+	P99Ns int64 `json:"p99_ns"`
+}
+
+// Stats summarizes the histogram with count, sum, min/max, and the p50,
+// p95 and p99 estimates.
+func (h *Histogram) Stats() HistogramStats {
+	if h == nil || h.count.Load() == 0 {
+		return HistogramStats{}
+	}
+	return HistogramStats{
+		Count: h.count.Load(),
+		SumNs: h.sum.Load(),
+		MinNs: h.min.Load(),
+		MaxNs: h.max.Load(),
+		P50Ns: h.Quantile(0.50),
+		P95Ns: h.Quantile(0.95),
+		P99Ns: h.Quantile(0.99),
+	}
+}

@@ -12,6 +12,7 @@
 package mhrt
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"os"
@@ -22,6 +23,7 @@ import (
 
 	"repro/internal/bus"
 	"repro/internal/mh"
+	"repro/internal/telemetry"
 )
 
 // MH is the participation runtime type (the mh_* primitive set).
@@ -32,6 +34,10 @@ const (
 	EnvBusAddr   = "MH_BUS_ADDR"
 	EnvInstance  = "MH_INSTANCE"
 	EnvSleepUnit = "MH_SLEEP_UNIT_MS"
+	// EnvTelemetry, when set to a non-empty value other than "0", gives the
+	// runtime a metrics registry (flag-check counts, capture/restore
+	// timings); Main dumps its JSON snapshot to stderr at module exit.
+	EnvTelemetry = "MH_TELEMETRY"
 )
 
 // FromEnv attaches to the bus named by the environment and returns the
@@ -51,6 +57,9 @@ func FromEnv() (*MH, error) {
 			return nil, fmt.Errorf("mhrt: bad %s=%q", EnvSleepUnit, ms)
 		}
 		opts = append(opts, mh.WithSleepUnit(time.Duration(n)*time.Millisecond))
+	}
+	if tv := os.Getenv(EnvTelemetry); tv != "" && tv != "0" {
+		opts = append(opts, mh.WithTelemetry(telemetry.NewRegistry()))
 	}
 	port, err := bus.DialPort(addr, instance)
 	if err != nil {
@@ -93,11 +102,26 @@ func Main(rt *MH, body func()) {
 		}
 	}()
 	term := mh.Run(body)
+	dumpTelemetry(rt)
 	if err := rt.Err(); err != nil && !errors.Is(err, bus.ErrStopped) {
 		fmt.Fprintln(os.Stderr, "module error:", err)
 		os.Exit(1)
 	}
 	if term != nil {
 		fmt.Fprintln(os.Stderr, "module terminated:", term.Reason)
+	}
+}
+
+// dumpTelemetry writes the runtime's metrics snapshot to stderr as one JSON
+// line, when telemetry is enabled (MH_TELEMETRY). The per-process dump is
+// how a standalone module binary reports its flag-check count and state
+// timings back to whoever launched it.
+func dumpTelemetry(rt *MH) {
+	reg := rt.Telemetry()
+	if reg == nil {
+		return
+	}
+	if data, err := json.Marshal(reg.Snapshot()); err == nil {
+		fmt.Fprintln(os.Stderr, "mh telemetry:", string(data))
 	}
 }

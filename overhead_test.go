@@ -1,0 +1,164 @@
+package reconf
+
+// TestOverheadArtifact quantifies the Discussion-section cost claims with
+// the telemetry subsystem in the loop and writes BENCH_overhead.json
+// (scripts/check.sh sets RECONFIG_OVERHEAD_JSON; a plain `go test` run
+// skips it):
+//
+//   - flag_test: the steady-state overhead claim ("merely that of
+//     periodically testing the flags") measured with and without a
+//     metrics registry attached — instrumentation must not change the
+//     claim's order of magnitude.
+//   - message_roundtrip: one bus write+read with telemetry enabled
+//     (default) and disabled (WithTelemetry(nil)), plus the allocation
+//     delta per message, which must be zero.
+//   - capture_amortization: the pay-only-on-reconfigure claim — the
+//     one-time stack capture + restore cost of a real Replace, expressed
+//     as the number of steady-state messages it equals.
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	"repro/internal/bus"
+	"repro/internal/mh"
+	"repro/internal/reconfig"
+	"repro/internal/telemetry"
+)
+
+// benchNs times fn via the testing benchmark driver, keeping sub-ns
+// precision (NsPerOp truncates to whole nanoseconds).
+func benchNs(fn func()) float64 {
+	res := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			fn()
+		}
+	})
+	return float64(res.T.Nanoseconds()) / float64(res.N)
+}
+
+// overheadFlagRuntime builds a lone attached runtime for flag benchmarks.
+func overheadFlagRuntime(t *testing.T, opts ...mh.Option) *mh.Runtime {
+	t.Helper()
+	bb := bus.New()
+	if err := bb.AddInstance(bus.InstanceSpec{Name: "m"}); err != nil {
+		t.Fatal(err)
+	}
+	port, err := bb.Attach("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := mh.New(port, opts...)
+	rt.Init()
+	return rt
+}
+
+// overheadBusPair builds a bound src->dst pair on a fresh bus.
+func overheadBusPair(t *testing.T, opts ...bus.BusOption) (bus.Port, bus.Port) {
+	t.Helper()
+	bb := bus.New(opts...)
+	for _, spec := range []bus.InstanceSpec{
+		{Name: "src", Interfaces: []bus.IfaceSpec{{Name: "out", Dir: bus.Out}}},
+		{Name: "dst", Interfaces: []bus.IfaceSpec{{Name: "in", Dir: bus.In}}},
+	} {
+		if err := bb.AddInstance(spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := bb.AddBinding(bus.Endpoint{Instance: "src", Interface: "out"}, bus.Endpoint{Instance: "dst", Interface: "in"}); err != nil {
+		t.Fatal(err)
+	}
+	src, err := bb.Attach("src")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, err := bb.Attach("dst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return src, dst
+}
+
+func TestOverheadArtifact(t *testing.T) {
+	out := os.Getenv("RECONFIG_OVERHEAD_JSON")
+	if out == "" {
+		t.Skip("set RECONFIG_OVERHEAD_JSON=<path> to emit the overhead artifact")
+	}
+
+	// Flag test, uninstrumented vs instrumented.
+	plain := overheadFlagRuntime(t)
+	reg := telemetry.NewRegistry()
+	instr := overheadFlagRuntime(t, mh.WithTelemetry(reg))
+	var flagSink bool
+	plainNs := benchNs(func() { flagSink = plain.Reconfig() })
+	instrNs := benchNs(func() { flagSink = instr.Reconfig() })
+	_ = flagSink
+
+	// Message round trip, telemetry on (default) vs off.
+	payload := make([]byte, 64)
+	roundtrip := func(src, dst bus.Port) func() {
+		return func() {
+			if err := src.Write("out", payload); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := dst.Read("in"); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	onSrc, onDst := overheadBusPair(t)
+	offSrc, offDst := overheadBusPair(t, bus.WithTelemetry(nil))
+	onNs := benchNs(roundtrip(onSrc, onDst))
+	offNs := benchNs(roundtrip(offSrc, offDst))
+	onAllocs := testing.AllocsPerRun(2000, roundtrip(onSrc, onDst))
+	offAllocs := testing.AllocsPerRun(2000, roundtrip(offSrc, offDst))
+	allocDelta := onAllocs - offAllocs
+	if allocDelta > 0 {
+		t.Errorf("telemetry adds %v allocs per message (on=%v off=%v)", allocDelta, onAllocs, offAllocs)
+	}
+
+	// Capture amortization: a real Replace of the interrupted monitor
+	// module, its capture/restore cost read back from the app registry.
+	app, _, feed := startInterrupted(t)
+	defer app.Stop()
+	feed()
+	if _, err := app.ReplaceTx("compute", reconfig.ReplaceOptions{NewName: "compute2"}); err != nil {
+		t.Fatal(err)
+	}
+	snap := app.Telemetry().Snapshot()
+	capNs := snap.Histograms["mh.compute.capture_ns"].SumNs
+	resNs := snap.Histograms["mh.compute2.restore_ns"].SumNs
+	if capNs <= 0 || resNs <= 0 {
+		t.Fatalf("replace recorded no capture/restore cost: capture=%d restore=%d", capNs, resNs)
+	}
+
+	report := map[string]any{
+		"benchmark": "telemetry_overhead",
+		"flag_test": map[string]float64{
+			"uninstrumented_ns_op": plainNs,
+			"instrumented_ns_op":   instrNs,
+			"overhead_ns_op":       instrNs - plainNs,
+		},
+		"message_roundtrip": map[string]float64{
+			"telemetry_off_ns_op":      offNs,
+			"telemetry_on_ns_op":       onNs,
+			"overhead_ns_op":           onNs - offNs,
+			"telemetry_allocs_per_msg": allocDelta,
+		},
+		"capture_amortization": map[string]float64{
+			"capture_ns":           float64(capNs),
+			"restore_ns":           float64(resNs),
+			"message_ns_op":        onNs,
+			"messages_to_amortize": (float64(capNs) + float64(resNs)) / onNs,
+		},
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", out)
+}

@@ -43,6 +43,7 @@ import (
 	"repro/internal/mh"
 	"repro/internal/mil"
 	"repro/internal/reconfig"
+	"repro/internal/telemetry"
 	"repro/internal/transform"
 )
 
@@ -303,6 +304,10 @@ func (a *App) Module(name string) *PreparedModule {
 // Bus exposes the underlying software bus.
 func (a *App) Bus() *bus.Bus { return a.bus }
 
+// Telemetry exposes the application-wide metrics registry (bus interface
+// counters, queue depths, per-module flag-check and state-transfer timings).
+func (a *App) Telemetry() *telemetry.Registry { return a.bus.Telemetry() }
+
 // Primitives exposes the reconfiguration primitive layer (and its trace).
 func (a *App) Primitives() *reconfig.Primitives { return a.prims }
 
@@ -335,6 +340,7 @@ func (a *App) Launch(instance string) error {
 		mh.WithSleepUnit(a.cfg.SleepUnit),
 		mh.WithCodec(a.cfg.Codec),
 		mh.WithStateTimeout(a.cfg.StateTimeout),
+		mh.WithTelemetry(a.bus.Telemetry()),
 	)
 	ri := &runningInstance{name: instance, rt: rt, done: make(chan error, 1)}
 	a.mu.Lock()
@@ -537,6 +543,17 @@ func (a *App) Topology() string {
 
 // Trace returns the reconfiguration primitive audit trail.
 func (a *App) Trace() []string { return a.prims.Trace() }
+
+// TraceTx returns the rendered span timeline of one transactional
+// reconfiguration, by transaction ID (TxResult.TxID / TxReport.TxID).
+func (a *App) TraceTx(txid string) ([]string, error) {
+	tr, ok := a.prims.Tracer().Get(txid)
+	if !ok {
+		known := a.prims.Tracer().IDs()
+		return nil, fmt.Errorf("reconf: no trace for %q (retained: %s)", txid, strings.Join(known, ", "))
+	}
+	return tr.Timeline(), nil
+}
 
 // ErrNotPrepared reports operations needing participation on a module that
 // was not prepared.

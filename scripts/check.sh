@@ -7,6 +7,14 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
+echo "== gofmt -l"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt: needs formatting:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
 echo "== go vet ./..."
 go vet ./...
 
@@ -20,5 +28,10 @@ echo "== replace latency artifact (with and without injected faults)"
 RECONFIG_BENCH_JSON="$PWD/BENCH_reconfig_latency.json" \
 	go test -run TestRollbackLatencyArtifact -count=1 .
 cat BENCH_reconfig_latency.json
+
+echo "== telemetry overhead artifact (flag test, message path, capture amortization)"
+RECONFIG_OVERHEAD_JSON="$PWD/BENCH_overhead.json" \
+	go test -run TestOverheadArtifact -count=1 .
+cat BENCH_overhead.json
 
 echo "ok"
