@@ -8,3 +8,14 @@ test:
 .PHONY: check
 check:
 	./scripts/check.sh
+
+# Benchmark artifacts: replace latency, steady-state overhead, and
+# multi-sender bus throughput, written as BENCH_*.json in the repo root.
+.PHONY: bench
+bench:
+	RECONFIG_BENCH_JSON="$(CURDIR)/BENCH_reconfig_latency.json" \
+		go test -run TestRollbackLatencyArtifact -count=1 .
+	RECONFIG_OVERHEAD_JSON="$(CURDIR)/BENCH_overhead.json" \
+		go test -run TestOverheadArtifact -count=1 .
+	RECONFIG_BUS_THROUGHPUT_JSON="$(CURDIR)/BENCH_bus_throughput.json" \
+		go test -run TestBusThroughputArtifact -count=1 .

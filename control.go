@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -213,10 +214,15 @@ func (s *ControlServer) handle(req ctlRequest) ctlResponse {
 		}
 		return ctlResponse{List: a.Trace()}
 	case "stats":
+		// Sort the transaction list: map-backed telemetry fields already
+		// marshal with sorted keys, and golden tests want the whole stats
+		// document byte-stable across runs.
+		txids := a.prims.Tracer().IDs()
+		sort.Strings(txids)
 		data, err := json.MarshalIndent(statsSnapshot{
 			Bus:          a.bus.Stats(),
 			Telemetry:    a.Telemetry().Snapshot(),
-			Transactions: a.prims.Tracer().IDs(),
+			Transactions: txids,
 		}, "", "  ")
 		if err != nil {
 			return fail(err)

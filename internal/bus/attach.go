@@ -61,11 +61,9 @@ func (a *Attachment) Machine() string { return a.inst.spec.Machine }
 // Status returns the instance status: StatusAdd for an original module,
 // StatusClone for a restoration (mh_getstatus in Figure 4). Unlike the
 // other spec attributes, status is rewritten when a rollback resurrects a
-// divulged module, so the read synchronizes with the bus.
+// divulged module, so the read synchronizes with the instance.
 func (a *Attachment) Status() string {
-	a.bus.mu.Lock()
-	defer a.bus.mu.Unlock()
-	return a.inst.spec.Status
+	return a.inst.status()
 }
 
 // Write emits data on the named interface (mh_write).
@@ -144,10 +142,8 @@ func (a *Attachment) Divulge(data []byte) error {
 	if err := a.bus.fire("bus.divulge"); err != nil {
 		return fmt.Errorf("bus: divulge from %s: %w", a.inst.spec.Name, err)
 	}
-	a.bus.mu.Lock()
-	a.inst.phase = PhaseDivulged
-	a.bus.mu.Unlock()
-	if err := a.inst.stateBox.put(data); err != nil {
+	a.inst.setPhase(PhaseDivulged)
+	if err := a.inst.stateBoxRef().put(data); err != nil {
 		return fmt.Errorf("bus: divulge from %s: %w", a.inst.spec.Name, err)
 	}
 	a.bus.emit(Event{Kind: EventDivulge, Instance: a.inst.spec.Name, Detail: fmt.Sprintf("%d bytes", len(data))})
@@ -157,7 +153,7 @@ func (a *Attachment) Divulge(data []byte) error {
 // AwaitState blocks until state is installed into this (clone) instance
 // (mh_decode at the start of restoration), or the timeout expires.
 func (a *Attachment) AwaitState(timeout time.Duration) ([]byte, error) {
-	data, err := a.inst.stateBox.await(timeout, a.inst.done)
+	data, err := a.inst.stateBoxRef().await(timeout, a.inst.done)
 	if err != nil {
 		return nil, fmt.Errorf("bus: await installed state for %s: %w", a.inst.spec.Name, err)
 	}
@@ -170,9 +166,7 @@ func (a *Attachment) AwaitState(timeout time.Duration) ([]byte, error) {
 // coordinator observes it through Bus.AwaitRestored before committing the
 // destructive tail of a replacement. Repeat confirmations are dropped.
 func (a *Attachment) ConfirmRestore(restoreErr error) error {
-	a.bus.mu.Lock()
-	box := a.inst.restoreBox
-	a.bus.mu.Unlock()
+	box := a.inst.restoreBoxRef()
 	select {
 	case box <- restoreErr:
 	default:
@@ -184,6 +178,10 @@ func (a *Attachment) ConfirmRestore(restoreErr error) error {
 	a.bus.emit(Event{Kind: EventRestoreAck, Instance: a.inst.spec.Name, Detail: detail})
 	return nil
 }
+
+// doneChan exposes the instance's deletion channel to the transport layer
+// (the TCP server selects on it while pushing messages to a remote client).
+func (a *Attachment) doneChan() <-chan struct{} { return a.inst.done }
 
 // Done reports whether the instance has been deleted from the bus.
 func (a *Attachment) Done() bool {

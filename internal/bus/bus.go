@@ -11,6 +11,12 @@
 // rebinding batches, and queue transfer (the "cq"/"rmq" commands of
 // Figure 5).
 //
+// The package is layered (see routing.go for the full picture): this file
+// holds the Bus facade and the *control plane* — every topology mutation is
+// a snapshot writer serialized by Bus.mu that publishes a successor
+// routingTable — while the data plane (write, Attachment reads) runs
+// lock-free against the current snapshot plus one per-queue lock.
+//
 // The bus never interprets payloads: messages are opaque byte strings
 // produced by a codec.Codec, which is what makes the system heterogeneous in
 // the paper's sense — every datum that crosses the bus is in the abstract
@@ -22,6 +28,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/faultinject"
@@ -169,26 +176,62 @@ type iface struct {
 	delivered *telemetry.Counter
 }
 
+// instance is one module instance. The identity fields (name, interface
+// set, signal and done channels) are immutable after AddInstance and are
+// shared freely across routing snapshots; the runtime state below mu is
+// mutable and guarded per-instance, so no data-plane or control-plane
+// operation on one instance contends with traffic on another.
 type instance struct {
-	spec       InstanceSpec
+	ifaces  map[string]*iface
+	signals chan Signal
+	done    chan struct{} // closed on delete
+
+	mu         sync.Mutex
+	spec       InstanceSpec // Status is rewritten by rollback paths
 	phase      Phase
-	ifaces     map[string]*iface
 	attached   bool
-	signals    chan Signal
 	stateBox   *stateBox
-	restoreBox chan error    // restore confirmation (ConfirmRestore/AwaitRestored)
-	done       chan struct{} // closed on delete
+	restoreBox chan error // restore confirmation (ConfirmRestore/AwaitRestored)
+}
+
+func (in *instance) status() string {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.spec.Status
+}
+
+func (in *instance) setPhase(p Phase) {
+	in.mu.Lock()
+	in.phase = p
+	in.mu.Unlock()
+}
+
+func (in *instance) stateBoxRef() *stateBox {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.stateBox
+}
+
+func (in *instance) restoreBoxRef() chan error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.restoreBox
 }
 
 // Bus is the software bus. All methods are safe for concurrent use.
+//
+// mu is the control-plane writer lock: it serializes topology changes
+// (instance/binding edits, rebinds, queue transfers) and the slow retry
+// path of write. The steady-state data plane never takes it — it loads the
+// current routing snapshot atomically and touches only per-queue locks.
 type Bus struct {
-	mu        sync.Mutex
-	instances map[string]*instance
-	bindings  []Binding
-	stats     Stats
-	clock     func() time.Time
-	faults    *faultinject.Set
-	telem     *telemetry.Registry
+	mu      sync.Mutex
+	routing atomic.Pointer[routingTable]
+
+	stats  busStats
+	clock  func() time.Time
+	faults atomic.Pointer[faultinject.Set]
+	telem  *telemetry.Registry
 
 	// Observers have their own lock: emit may run with or without b.mu held,
 	// and observer registration must not race the dispatch snapshot.
@@ -196,13 +239,27 @@ type Bus struct {
 	observers []*observerQueue
 }
 
-// Stats counts bus activity, for the benchmark harness.
+// busStats holds the activity counters as atomics so the lock-free write
+// path can account deliveries without a lock.
+type busStats struct {
+	delivered atomic.Int64
+	dropped   atomic.Int64
+	rebinds   atomic.Int64
+	signals   atomic.Int64
+	moves     atomic.Int64
+}
+
+// Stats counts bus activity, for the benchmark harness. SnapshotVersion is
+// the epoch of the current routing snapshot: it increases by one per
+// published topology change, so the control plane can correlate traffic
+// counters with reconfiguration activity.
 type Stats struct {
-	Delivered int64 `json:"delivered"`
-	Dropped   int64 `json:"dropped"`
-	Rebinds   int64 `json:"rebinds"`
-	Signals   int64 `json:"signals"`
-	Moves     int64 `json:"moves"` // queue moves
+	Delivered       int64  `json:"delivered"`
+	Dropped         int64  `json:"dropped"`
+	Rebinds         int64  `json:"rebinds"`
+	Signals         int64  `json:"signals"`
+	Moves           int64  `json:"moves"` // queue moves
+	SnapshotVersion uint64 `json:"snapshot_version"`
 }
 
 // BusOption configures a Bus at construction.
@@ -222,11 +279,11 @@ func WithTelemetry(reg *telemetry.Registry) BusOption {
 // WithTelemetry.
 func New(opts ...BusOption) *Bus {
 	b := &Bus{
-		instances: map[string]*instance{},
-		clock:     time.Now,
-		faults:    faultinject.Default(),
-		telem:     telemetry.NewRegistry(),
+		clock: time.Now,
+		telem: telemetry.NewRegistry(),
 	}
+	b.faults.Store(faultinject.Default())
+	b.routing.Store((&topologyDraft{instances: map[string]*instance{}}).build(1))
 	for _, opt := range opts {
 		opt(b)
 	}
@@ -238,26 +295,15 @@ func (b *Bus) Telemetry() *telemetry.Registry { return b.telem }
 
 // SetFaults overrides the bus's fault-injection set (tests arm their own so
 // parallel tests do not share failpoints). A nil set disables injection.
-func (b *Bus) SetFaults(s *faultinject.Set) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	b.faults = s
-}
+func (b *Bus) SetFaults(s *faultinject.Set) { b.faults.Store(s) }
 
 // Faults returns the bus's fault-injection set (possibly nil).
-func (b *Bus) Faults() *faultinject.Set {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.faults
-}
+func (b *Bus) Faults() *faultinject.Set { return b.faults.Load() }
 
-// fire consults the fault-injection set at a site without holding the bus
-// lock (a Delay point sleeps).
+// fire consults the fault-injection set at a site (a Delay point sleeps;
+// Fire is nil-receiver safe, so a disabled set costs one atomic load).
 func (b *Bus) fire(site string) error {
-	b.mu.Lock()
-	f := b.faults
-	b.mu.Unlock()
-	return f.Fire(site)
+	return b.faults.Load().Fire(site)
 }
 
 // Observe registers a callback invoked for every bus event. Dispatch is
@@ -295,9 +341,39 @@ func (b *Bus) emit(e Event) {
 
 // Stats returns a snapshot of the activity counters.
 func (b *Bus) Stats() Stats {
+	return Stats{
+		Delivered:       b.stats.delivered.Load(),
+		Dropped:         b.stats.dropped.Load(),
+		Rebinds:         b.stats.rebinds.Load(),
+		Signals:         b.stats.signals.Load(),
+		Moves:           b.stats.moves.Load(),
+		SnapshotVersion: b.routing.Load().version,
+	}
+}
+
+// editLocked runs fn against a draft of the current snapshot and, if fn
+// succeeds, publishes the built successor and emits the events the edits
+// recorded. On error nothing is published and no event is emitted — the
+// previous snapshot simply remains current. Callers hold b.mu.
+func (b *Bus) editLocked(fn func(d *topologyDraft) error) error {
+	cur := b.routing.Load()
+	d := cur.draft()
+	if err := fn(d); err != nil {
+		return err
+	}
+	b.routing.Store(d.build(cur.version + 1))
+	for _, e := range d.events {
+		b.emit(e)
+	}
+	return nil
+}
+
+// edit is editLocked behind the writer lock — the narrow doorway every
+// topology change goes through.
+func (b *Bus) edit(fn func(d *topologyDraft) error) error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	return b.stats
+	return b.editLocked(fn)
 }
 
 // AddInstance registers a module instance. The instance exists (its queues
@@ -311,11 +387,6 @@ func (b *Bus) AddInstance(spec InstanceSpec) error {
 	}
 	if err := b.fire("bus.addinstance"); err != nil {
 		return fmt.Errorf("bus: add instance %s: %w", spec.Name, err)
-	}
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if _, dup := b.instances[spec.Name]; dup {
-		return fmt.Errorf("%w: %s", ErrDupInstance, spec.Name)
 	}
 	in := &instance{
 		spec:       spec,
@@ -339,56 +410,71 @@ func (b *Bus) AddInstance(spec InstanceSpec) error {
 		}
 		in.ifaces[is.Name] = ifc
 	}
-	// Resolve telemetry handles once, after validation, off the message
-	// path. On a telemetry-free bus these stay nil and the counters are
-	// no-ops.
-	for name, ifc := range in.ifaces {
-		prefix := "bus.iface." + spec.Name + "." + name
-		if ifc.spec.Dir.Sends() {
-			ifc.sent = b.telem.Counter(prefix + ".sent")
+	return b.edit(func(d *topologyDraft) error {
+		if _, dup := d.instances[spec.Name]; dup {
+			return fmt.Errorf("%w: %s", ErrDupInstance, spec.Name)
 		}
-		if ifc.spec.Dir.Receives() {
-			ifc.delivered = b.telem.Counter(prefix + ".delivered")
-			q := ifc.queue
-			b.telem.GaugeFunc(prefix+".queue_depth", func() int64 {
-				return int64(q.length())
-			})
+		// Resolve telemetry handles once, after validation, off the message
+		// path. On a telemetry-free bus these stay nil and the counters are
+		// no-ops.
+		for name, ifc := range in.ifaces {
+			prefix := "bus.iface." + spec.Name + "." + name
+			if ifc.spec.Dir.Sends() {
+				ifc.sent = b.telem.Counter(prefix + ".sent")
+			}
+			if ifc.spec.Dir.Receives() {
+				ifc.delivered = b.telem.Counter(prefix + ".delivered")
+				q := ifc.queue
+				b.telem.GaugeFunc(prefix+".queue_depth", func() int64 {
+					return int64(q.length())
+				})
+			}
 		}
-	}
-	b.instances[spec.Name] = in
-	b.emit(Event{Kind: EventAddInstance, Instance: spec.Name, Detail: spec.Machine})
-	return nil
+		d.instances[spec.Name] = in
+		d.events = append(d.events, Event{Kind: EventAddInstance, Instance: spec.Name, Detail: spec.Machine})
+		return nil
+	})
 }
 
 // DeleteInstance removes an instance, closing its queues and waking any
 // blocked reader with ErrStopped. Bindings touching the instance are
-// removed.
+// removed. The instance's queues are fenced before the successor snapshot
+// is published, so a concurrent writer holding the old snapshot retries
+// against the new topology instead of posting to a dead queue.
 func (b *Bus) DeleteInstance(name string) error {
 	if err := b.fire("bus.deleteinstance"); err != nil {
 		return fmt.Errorf("bus: delete instance %s: %w", name, err)
 	}
 	b.mu.Lock()
-	in, ok := b.instances[name]
+	cur := b.routing.Load()
+	in, ok := cur.instances[name]
 	if !ok {
 		b.mu.Unlock()
 		return fmt.Errorf("%w: %s", ErrNoInstance, name)
 	}
-	delete(b.instances, name)
-	kept := b.bindings[:0]
-	for _, bd := range b.bindings {
+	for _, ifc := range in.ifaces {
+		if ifc.queue != nil {
+			ifc.queue.detach(cur.version)
+		}
+	}
+	d := cur.draft()
+	delete(d.instances, name)
+	kept := d.bindings[:0]
+	for _, bd := range d.bindings {
 		if bd.A.Instance != name && bd.B.Instance != name {
 			kept = append(kept, bd)
 		}
 	}
-	b.bindings = kept
-	in.phase = PhaseDeleted
+	d.bindings = kept
+	b.routing.Store(d.build(cur.version + 1))
+	in.setPhase(PhaseDeleted)
 	close(in.done)
 	for _, ifc := range in.ifaces {
 		if ifc.queue != nil {
 			ifc.queue.close()
 		}
 	}
-	in.stateBox.close()
+	in.stateBoxRef().close()
 	b.mu.Unlock()
 	b.telem.Unregister("bus.iface." + name + ".")
 	b.emit(Event{Kind: EventDeleteInstance, Instance: name})
@@ -401,10 +487,13 @@ func (b *Bus) Attach(name string) (*Attachment, error) {
 	if err := b.fire("bus.attach"); err != nil {
 		return nil, fmt.Errorf("bus: attach %s: %w", name, err)
 	}
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	in, ok := b.instances[name]
+	in, ok := b.routing.Load().instances[name]
 	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoInstance, name)
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.phase == PhaseDeleted {
 		return nil, fmt.Errorf("%w: %s", ErrNoInstance, name)
 	}
 	if in.attached {
@@ -418,50 +507,17 @@ func (b *Bus) Attach(name string) (*Attachment, error) {
 // AddBinding connects two endpoints. Both must exist, and at least one side
 // must send while the other receives.
 func (b *Bus) AddBinding(a, c Endpoint) error {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.addBindingLocked(a, c)
-}
-
-func (b *Bus) addBindingLocked(a, c Endpoint) error {
-	ia, err := b.lookupLocked(a)
-	if err != nil {
-		return err
-	}
-	ic, err := b.lookupLocked(c)
-	if err != nil {
-		return err
-	}
-	if !(ia.spec.Dir.Sends() && ic.spec.Dir.Receives()) && !(ic.spec.Dir.Sends() && ia.spec.Dir.Receives()) {
-		return fmt.Errorf("%w: %s (%s) <-> %s (%s)", ErrDirection, a, ia.spec.Dir, c, ic.spec.Dir)
-	}
-	for _, bd := range b.bindings {
-		if (bd.A == a && bd.B == c) || (bd.A == c && bd.B == a) {
-			return fmt.Errorf("bus: binding %s <-> %s already exists", a, c)
-		}
-	}
-	b.bindings = append(b.bindings, Binding{A: a, B: c})
-	b.emit(Event{Kind: EventAddBinding, Detail: a.String() + " <-> " + c.String()})
-	return nil
+	return b.edit(func(d *topologyDraft) error {
+		return d.addBinding(a, c)
+	})
 }
 
 // DeleteBinding removes the binding between two endpoints (in either
 // orientation).
 func (b *Bus) DeleteBinding(a, c Endpoint) error {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.deleteBindingLocked(a, c)
-}
-
-func (b *Bus) deleteBindingLocked(a, c Endpoint) error {
-	for i, bd := range b.bindings {
-		if (bd.A == a && bd.B == c) || (bd.A == c && bd.B == a) {
-			b.bindings = append(b.bindings[:i], b.bindings[i+1:]...)
-			b.emit(Event{Kind: EventDeleteBinding, Detail: a.String() + " <-> " + c.String()})
-			return nil
-		}
-	}
-	return fmt.Errorf("%w: %s <-> %s", ErrNoBinding, a, c)
+	return b.edit(func(d *topologyDraft) error {
+		return d.deleteBinding(a, c)
+	})
 }
 
 // MoveQueue transfers all pending messages queued at from to the queue at
@@ -470,30 +526,36 @@ func (b *Bus) deleteBindingLocked(a, c Endpoint) error {
 func (b *Bus) MoveQueue(from, to Endpoint) error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	return b.moveQueueLocked(from, to)
+	rt := b.routing.Load()
+	moved, err := b.moveQueueLocked(rt, from, to)
+	if err != nil {
+		return err
+	}
+	b.stats.moves.Add(int64(moved))
+	b.emit(Event{Kind: EventMoveQueue, Detail: fmt.Sprintf("%s -> %s (%d msgs)", from, to, moved)})
+	return nil
 }
 
-func (b *Bus) moveQueueLocked(from, to Endpoint) error {
-	fi, err := b.lookupLocked(from)
+// moveQueueLocked drains from's queue into to's under the writer lock.
+// The topology is untouched: messages arriving after the drain keep landing
+// at from, exactly as before the refactor.
+func (b *Bus) moveQueueLocked(rt *routingTable, from, to Endpoint) (int, error) {
+	fi, err := rt.lookup(from)
 	if err != nil {
-		return err
+		return 0, err
 	}
-	ti, err := b.lookupLocked(to)
+	ti, err := rt.lookup(to)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	if fi.queue == nil || ti.queue == nil {
-		return fmt.Errorf("%w: queue move needs receiving interfaces (%s -> %s)", ErrDirection, from, to)
+		return 0, fmt.Errorf("%w: queue move needs receiving interfaces (%s -> %s)", ErrDirection, from, to)
 	}
 	moved := fi.queue.drain()
-	for _, m := range moved {
-		if err := ti.queue.push(m); err != nil {
-			return fmt.Errorf("bus: move queue %s -> %s: %w", from, to, err)
-		}
+	if err := ti.queue.pushAll(moved); err != nil {
+		return 0, fmt.Errorf("bus: move queue %s -> %s: %w", from, to, err)
 	}
-	b.stats.Moves += int64(len(moved))
-	b.emit(Event{Kind: EventMoveQueue, Detail: fmt.Sprintf("%s -> %s (%d msgs)", from, to, len(moved))})
-	return nil
+	return len(moved), nil
 }
 
 // DrainQueue discards all pending messages at the endpoint — the "rmq"
@@ -501,7 +563,7 @@ func (b *Bus) moveQueueLocked(from, to Endpoint) error {
 func (b *Bus) DrainQueue(e Endpoint) (int, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	ifc, err := b.lookupLocked(e)
+	ifc, err := b.routing.Load().lookup(e)
 	if err != nil {
 		return 0, err
 	}
@@ -523,25 +585,34 @@ type BindEdit struct {
 }
 
 // Rebind applies a batch of binding edits atomically: either all edits
-// apply, or none (the bus state is restored on failure). This is the
-// mh_rebind of Figure 5: "the rebinding commands are applied all at once,
-// after the old module has divulged its state". Bindings AND queues are
-// restored on failure: a cq that moved messages before a later edit failed
-// puts them back, so a half-applied batch never strands traffic.
+// apply, or none. This is the mh_rebind of Figure 5: "the rebinding
+// commands are applied all at once, after the old module has divulged its
+// state".
+//
+// Atomicity has two halves under the snapshot model. Binding edits are
+// staged on a draft and published as one successor snapshot, so a failed
+// batch leaves the current snapshot — and the observable Bindings() —
+// untouched, with no phantom events. Queue edits (cq/rmq) are applied
+// between fencing and publish: every queue the batch invalidates is
+// detached at the current epoch first, so a concurrent writer that resolved
+// its route from the outgoing snapshot is refused at the queue and retries
+// against the successor — no message is lost to an abandoned queue and none
+// lands on a stale route after the rebind commits. A batch whose queue
+// transfer fails restores the saved queue contents and republishes the
+// prior topology under a fresh epoch.
 func (b *Bus) Rebind(edits []BindEdit) error {
 	if err := b.fire("bus.rebind"); err != nil {
 		return fmt.Errorf("bus: rebind: %w", err)
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	// Snapshot bindings — and the contents of every queue a cq/rmq edit
-	// touches — for rollback. Queue moves are also validated up front
-	// (both queues must exist).
-	saved := make([]Binding, len(b.bindings))
-	copy(saved, b.bindings)
+	cur := b.routing.Load()
+
+	// Phase 0: validate queue edits up front and snapshot the contents of
+	// every queue a cq/rmq touches, for rollback.
 	qsaved := map[*msgQueue][]Message{}
 	snap := func(e Endpoint) error {
-		ifc, err := b.lookupLocked(e)
+		ifc, err := cur.lookup(e)
 		if err != nil {
 			return err
 		}
@@ -566,38 +637,74 @@ func (b *Bus) Rebind(edits []BindEdit) error {
 			}
 		}
 	}
+
+	// Phase 1: stage the binding edits on a draft. Any failure discards the
+	// draft whole — nothing has been published or mutated.
+	d := cur.draft()
 	for i, e := range edits {
 		var err error
 		switch e.Op {
 		case "add":
-			err = b.addBindingLocked(e.From, e.To)
+			err = d.addBinding(e.From, e.To)
 		case "del":
-			err = b.deleteBindingLocked(e.From, e.To)
-		case "cq":
-			err = b.moveQueueLocked(e.From, e.To)
-		case "rmq":
-			_, err = func() (int, error) {
-				ifc, lerr := b.lookupLocked(e.From)
-				if lerr != nil {
-					return 0, lerr
-				}
-				if ifc.queue == nil {
-					return 0, fmt.Errorf("%w: %s does not receive", ErrDirection, e.From)
-				}
-				return len(ifc.queue.drain()), nil
-			}()
+			err = d.deleteBinding(e.From, e.To)
+		case "cq", "rmq": // validated in phase 0, applied in phase 2
 		default:
 			err = fmt.Errorf("bus: unknown rebind op %q", e.Op)
 		}
 		if err != nil {
-			b.bindings = saved
-			for q, items := range qsaved {
-				q.restore(items)
-			}
 			return fmt.Errorf("bus: rebind edit %d (%s %s %s): %w", i, e.Op, e.From, e.To, err)
 		}
 	}
-	b.stats.Rebinds++
+
+	// Phase 2: fence every queue the batch invalidates — the receiving
+	// sides of deleted bindings and the sources of queue transfers — then
+	// apply the transfers. Refused writers block on b.mu in writeSlow and
+	// re-resolve against the successor published below.
+	for _, e := range edits {
+		switch e.Op {
+		case "del":
+			for _, ep := range []Endpoint{e.From, e.To} {
+				if ifc, err := cur.lookup(ep); err == nil && ifc.queue != nil {
+					ifc.queue.detach(cur.version)
+				}
+			}
+		case "cq", "rmq":
+			if ifc, err := cur.lookup(e.From); err == nil {
+				ifc.queue.detach(cur.version)
+			}
+		}
+	}
+	moves := 0
+	for _, e := range edits {
+		switch e.Op {
+		case "cq":
+			fi, _ := cur.lookup(e.From)
+			ti, _ := cur.lookup(e.To)
+			moved := fi.queue.drain()
+			if err := ti.queue.pushAll(moved); err != nil {
+				for q, items := range qsaved {
+					q.restore(items)
+				}
+				// Republish the prior topology under a fresh epoch so the
+				// queues fenced above re-admit routed traffic.
+				b.routing.Store(cur.draft().build(cur.version + 1))
+				return fmt.Errorf("bus: rebind cq %s -> %s: %w", e.From, e.To, err)
+			}
+			moves += len(moved)
+			d.events = append(d.events, Event{Kind: EventMoveQueue, Detail: fmt.Sprintf("%s -> %s (%d msgs)", e.From, e.To, len(moved))})
+		case "rmq":
+			fi, _ := cur.lookup(e.From)
+			n := len(fi.queue.drain())
+			d.events = append(d.events, Event{Kind: EventDrainQueue, Detail: fmt.Sprintf("%s (%d msgs)", e.From, n)})
+		}
+	}
+	b.routing.Store(d.build(cur.version + 1))
+	b.stats.rebinds.Add(1)
+	b.stats.moves.Add(int64(moves))
+	for _, ev := range d.events {
+		b.emit(ev)
+	}
 	b.emit(Event{Kind: EventRebind, Detail: fmt.Sprintf("%d edits", len(edits))})
 	return nil
 }
@@ -631,14 +738,11 @@ func (b *Bus) Signal(name string, s Signal) error {
 		}
 		dropped = true
 	}
-	b.mu.Lock()
-	in, ok := b.instances[name]
+	in, ok := b.routing.Load().instances[name]
 	if !ok {
-		b.mu.Unlock()
 		return fmt.Errorf("%w: %s", ErrNoInstance, name)
 	}
-	b.stats.Signals++
-	b.mu.Unlock()
+	b.stats.signals.Add(1)
 	if dropped {
 		return nil
 	}
@@ -656,13 +760,11 @@ func (b *Bus) AwaitDivulged(name string, timeout time.Duration) (st *stateOwner,
 	if err := b.fire("bus.awaitdivulged"); err != nil {
 		return nil, fmt.Errorf("bus: await state of %s: %w", name, err)
 	}
-	b.mu.Lock()
-	in, ok := b.instances[name]
-	b.mu.Unlock()
+	in, ok := b.routing.Load().instances[name]
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrNoInstance, name)
 	}
-	data, err := in.stateBox.await(timeout, in.done)
+	data, err := in.stateBoxRef().await(timeout, in.done)
 	if err != nil {
 		return nil, fmt.Errorf("bus: await state of %s: %w", name, err)
 	}
@@ -675,13 +777,11 @@ func (b *Bus) InstallState(name string, data []byte) error {
 	if err := b.fire("bus.installstate"); err != nil {
 		return fmt.Errorf("bus: install state into %s: %w", name, err)
 	}
-	b.mu.Lock()
-	in, ok := b.instances[name]
-	b.mu.Unlock()
+	in, ok := b.routing.Load().instances[name]
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrNoInstance, name)
 	}
-	if err := in.stateBox.put(data); err != nil {
+	if err := in.stateBoxRef().put(data); err != nil {
 		return fmt.Errorf("bus: install state into %s: %w", name, err)
 	}
 	b.emit(Event{Kind: EventInstallState, Instance: name, Detail: fmt.Sprintf("%d bytes", len(data))})
@@ -697,16 +797,14 @@ func (b *Bus) AwaitRestored(name string, timeout time.Duration) error {
 	if err := b.fire("bus.awaitrestored"); err != nil {
 		return fmt.Errorf("bus: await restore of %s: %w", name, err)
 	}
-	b.mu.Lock()
-	in, ok := b.instances[name]
-	b.mu.Unlock()
+	in, ok := b.routing.Load().instances[name]
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrNoInstance, name)
 	}
 	timer := time.NewTimer(timeout)
 	defer timer.Stop()
 	select {
-	case err := <-in.restoreBox:
+	case err := <-in.restoreBoxRef():
 		if err != nil {
 			return fmt.Errorf("bus: restore of %s failed: %w", name, err)
 		}
@@ -726,18 +824,17 @@ func (b *Bus) AwaitRestored(name string, timeout time.Duration) error {
 // divulged state is reinstalled and the module resumes from its
 // reconfiguration point. Queues and bindings are untouched.
 func (b *Bus) ResetForRelaunch(name string) error {
-	b.mu.Lock()
-	in, ok := b.instances[name]
+	in, ok := b.routing.Load().instances[name]
 	if !ok {
-		b.mu.Unlock()
 		return fmt.Errorf("%w: %s", ErrNoInstance, name)
 	}
+	in.mu.Lock()
 	in.spec.Status = StatusClone
 	in.attached = false
 	in.phase = PhaseAdded
 	in.stateBox = newStateBox()
 	in.restoreBox = make(chan error, 1)
-	b.mu.Unlock()
+	in.mu.Unlock()
 	b.emit(Event{Kind: EventRelaunch, Instance: name})
 	return nil
 }
@@ -747,13 +844,13 @@ func (b *Bus) ResetForRelaunch(name string) error {
 // restoration is confirmed, so the rolled-back configuration matches the
 // pre-transaction one.
 func (b *Bus) SetStatus(name, status string) error {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	in, ok := b.instances[name]
+	in, ok := b.routing.Load().instances[name]
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrNoInstance, name)
 	}
+	in.mu.Lock()
 	in.spec.Status = status
+	in.mu.Unlock()
 	return nil
 }
 
@@ -802,30 +899,25 @@ type InstanceInfo struct {
 // Instances returns the sorted names of all live instances
 // (mh_struct_objnames).
 func (b *Bus) Instances() []string {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	names := make([]string, 0, len(b.instances))
-	for n := range b.instances {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	return names
+	return b.Routing().Instances()
 }
 
 // Info returns the current specification of an instance (mh_obj_cap).
 func (b *Bus) Info(name string) (InstanceInfo, error) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	in, ok := b.instances[name]
+	in, ok := b.routing.Load().instances[name]
 	if !ok {
 		return InstanceInfo{}, fmt.Errorf("%w: %s", ErrNoInstance, name)
 	}
+	in.mu.Lock()
+	status := in.spec.Status
+	phase := in.phase
+	in.mu.Unlock()
 	info := InstanceInfo{
 		Name:    in.spec.Name,
 		Module:  in.spec.Module,
 		Machine: in.spec.Machine,
-		Status:  in.spec.Status,
-		Phase:   in.phase,
+		Status:  status,
+		Phase:   phase,
 		Pending: map[string]int{},
 	}
 	if len(in.spec.Attrs) > 0 {
@@ -849,26 +941,23 @@ func (b *Bus) Info(name string) (InstanceInfo, error) {
 	return info, nil
 }
 
-// Bindings returns a copy of all current bindings, ordered as created.
+// Bindings returns a copy of all current bindings, deterministically sorted
+// by endpoint pair.
 func (b *Bus) Bindings() []Binding {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	out := make([]Binding, len(b.bindings))
-	copy(out, b.bindings)
-	return out
+	return b.Routing().Bindings()
 }
 
 // IfDest returns the endpoints that messages written on e are delivered to
-// (mh_struct_ifdest).
+// (mh_struct_ifdest). Results follow binding creation order, which the
+// reconfiguration planner relies on for stable plans.
 func (b *Bus) IfDest(e Endpoint) ([]Endpoint, error) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if _, err := b.lookupLocked(e); err != nil {
+	rt := b.routing.Load()
+	if _, err := rt.lookup(e); err != nil {
 		return nil, err
 	}
 	var out []Endpoint
-	for _, bd := range b.bindings {
-		if other, ok := b.routeLocked(bd, e); ok {
+	for _, bd := range rt.bindings {
+		if other, ok := rt.route(bd, e); ok {
 			out = append(out, other)
 		}
 	}
@@ -876,11 +965,10 @@ func (b *Bus) IfDest(e Endpoint) ([]Endpoint, error) {
 }
 
 // IfSources returns the endpoints whose writes are delivered to e
-// (mh_struct_ifsources).
+// (mh_struct_ifsources), in binding creation order.
 func (b *Bus) IfSources(e Endpoint) ([]Endpoint, error) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	ifc, err := b.lookupLocked(e)
+	rt := b.routing.Load()
+	ifc, err := rt.lookup(e)
 	if err != nil {
 		return nil, err
 	}
@@ -888,7 +976,7 @@ func (b *Bus) IfSources(e Endpoint) ([]Endpoint, error) {
 		return nil, nil
 	}
 	var out []Endpoint
-	for _, bd := range b.bindings {
+	for _, bd := range rt.bindings {
 		var other Endpoint
 		switch e {
 		case bd.A:
@@ -898,7 +986,7 @@ func (b *Bus) IfSources(e Endpoint) ([]Endpoint, error) {
 		default:
 			continue
 		}
-		oifc, err := b.lookupLocked(other)
+		oifc, err := rt.lookup(other)
 		if err == nil && oifc.spec.Dir.Sends() {
 			out = append(out, other)
 		}
@@ -906,73 +994,92 @@ func (b *Bus) IfSources(e Endpoint) ([]Endpoint, error) {
 	return out, nil
 }
 
-// routeLocked returns the delivery target when a message is written on from
-// and the binding bd is considered: the opposite endpoint, if it receives.
-func (b *Bus) routeLocked(bd Binding, from Endpoint) (Endpoint, bool) {
-	var other Endpoint
-	switch from {
-	case bd.A:
-		other = bd.B
-	case bd.B:
-		other = bd.A
-	default:
-		return Endpoint{}, false
-	}
-	ifc, err := b.lookupLocked(other)
-	if err != nil || !ifc.spec.Dir.Receives() {
-		return Endpoint{}, false
-	}
-	return other, true
-}
-
-func (b *Bus) lookupLocked(e Endpoint) (*iface, error) {
-	in, ok := b.instances[e.Instance]
-	if !ok {
-		return nil, fmt.Errorf("%w: %s", ErrNoInstance, e.Instance)
-	}
-	ifc, ok := in.ifaces[e.Interface]
-	if !ok {
-		return nil, fmt.Errorf("%w: %s", ErrNoInterface, e)
-	}
-	return ifc, nil
-}
-
 // write routes a message from the given endpoint to every bound receiving
 // endpoint. Called by Attachment.Write.
+//
+// This is the steady-state hot path: one atomic snapshot load, a map
+// lookup into the precomputed route set, and one lock per target queue —
+// no global lock and no allocation beyond the message itself. The only
+// way traffic meets reconfiguration is the stale-route fence: a push
+// refused because its route was resolved from a fenced snapshot falls to
+// writeSlow, which serializes with the writer lock and re-resolves.
 func (b *Bus) write(from Endpoint, data []byte) error {
-	b.mu.Lock()
-	src, err := b.lookupLocked(from)
-	if err != nil {
-		b.mu.Unlock()
-		return err
-	}
-	if !src.spec.Dir.Sends() {
-		b.mu.Unlock()
-		return fmt.Errorf("%w: write on %s (%s)", ErrDirection, from, src.spec.Dir)
-	}
-	var targets []*iface
-	for _, bd := range b.bindings {
-		if other, ok := b.routeLocked(bd, from); ok {
-			ifc, _ := b.lookupLocked(other)
-			targets = append(targets, ifc)
+	rt := b.routing.Load()
+	rs, ok := rt.routes[from]
+	if !ok {
+		// Not a sending endpoint in this snapshot: report which invariant
+		// failed with the same fidelity as the routing layer.
+		ifc, err := rt.lookup(from)
+		if err != nil {
+			return err
 		}
+		return fmt.Errorf("%w: write on %s (%s)", ErrDirection, from, ifc.spec.Dir)
 	}
-	if len(targets) == 0 {
-		b.stats.Dropped++
-		b.mu.Unlock()
+	if len(rs.targets) == 0 {
+		b.stats.dropped.Add(1)
 		return fmt.Errorf("%w: %s", ErrUnbound, from)
 	}
-	b.stats.Delivered += int64(len(targets))
-	b.mu.Unlock()
-	src.sent.Add(int64(len(targets)))
 	msg := Message{From: from, Data: data}
-	for _, ifc := range targets {
-		// A closed queue means the receiver was deleted mid-write;
-		// the message is simply dropped, like a datagram to a dead
-		// process.
-		if ifc.queue.push(msg) == nil {
-			ifc.delivered.Inc()
+	var delivered int64
+	for i, t := range rs.targets {
+		switch t.queue.pushRouted(msg, rt.version) {
+		case nil:
+			t.delivered.Inc()
+			delivered++
+		case errStaleRoute:
+			return b.writeSlow(rs.src, from, msg, rs.targets[:i], delivered)
+		default:
+			// A closed queue means the receiver was deleted mid-write;
+			// the message is simply dropped, like a datagram to a dead
+			// process.
 		}
 	}
+	if delivered > 0 {
+		b.stats.delivered.Add(delivered)
+		rs.src.sent.Add(delivered)
+	}
+	return nil
+}
+
+// writeSlow finishes a write whose fast-path route was fenced by a
+// concurrent topology change. It serializes with the writers on b.mu —
+// by the time the lock is held the change has published its successor
+// snapshot — re-resolves the route, and delivers to every current target
+// not already reached on the fast path. attempted holds the targets the
+// fast path already processed (delivered or dropped-closed); pre counts
+// the fast-path deliveries for the stats.
+func (b *Bus) writeSlow(src *iface, from Endpoint, msg Message, attempted []*iface, pre int64) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	rt := b.routing.Load()
+	delivered := pre
+	rs, ok := rt.routes[from]
+	if ok {
+	targets:
+		for _, t := range rs.targets {
+			for _, done := range attempted {
+				if done == t {
+					continue targets
+				}
+			}
+			// Under b.mu no rebind can fence this queue concurrently, so a
+			// plain push suffices; the route is current by construction.
+			if t.queue.push(msg) == nil {
+				t.delivered.Inc()
+				delivered++
+			}
+		}
+	}
+	if delivered == 0 {
+		if !ok {
+			if _, err := rt.lookup(from); err != nil {
+				return err
+			}
+		}
+		b.stats.dropped.Add(1)
+		return fmt.Errorf("%w: %s", ErrUnbound, from)
+	}
+	b.stats.delivered.Add(delivered)
+	src.sent.Add(delivered)
 	return nil
 }

@@ -1,0 +1,41 @@
+package bus
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestBusMutexStaysInBusGo pins the layering of the package: the
+// control-plane writer lock (Bus.mu) is an implementation detail of bus.go.
+// The queueing and transport layers reach the routing layer only through
+// the snapshot and the narrow editor, never by grabbing the global lock —
+// this is what makes the steady-state Send/Deliver path lock-free. The test
+// fails if any non-test file other than bus.go mentions the mutex (the
+// historical leak was attach.go locking a.bus.mu directly).
+func TestBusMutexStaysInBusGo(t *testing.T) {
+	// Matches b.mu / bus.mu as a field access; \b on the left keeps
+	// sb.mu (stateBox) and q.mu (msgQueue) out of scope.
+	busMu := regexp.MustCompile(`\b(b|bus)\.mu\b`)
+	entries, err := os.ReadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") || name == "bus.go" {
+			continue
+		}
+		src, err := os.ReadFile(filepath.Join(".", name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(src), "\n") {
+			if busMu.MatchString(line) {
+				t.Errorf("%s:%d: references the global bus mutex outside bus.go: %s", name, i+1, strings.TrimSpace(line))
+			}
+		}
+	}
+}

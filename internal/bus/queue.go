@@ -17,6 +17,14 @@ type msgQueue struct {
 	cond   *sync.Cond
 	items  []Message
 	closed bool
+
+	// stale fences routed pushes: pushRouted refuses any push whose route
+	// was resolved from a snapshot with version <= stale. A topology change
+	// that invalidates this queue's routes (a rebind moving its contents,
+	// a binding delete, an instance delete) raises it to the outgoing
+	// snapshot's version before publishing the successor; refused writers
+	// retry through the bus's slow path against the new topology.
+	stale uint64
 }
 
 func newMsgQueue() *msgQueue {
@@ -34,6 +42,52 @@ func (q *msgQueue) push(m Message) error {
 	}
 	q.items = append(q.items, m)
 	q.cond.Signal()
+	return nil
+}
+
+// pushRouted appends a message whose target was resolved from the snapshot
+// with the given version. It refuses with errStaleRoute when the queue has
+// been fenced at or past that version, so a writer racing a topology change
+// can never land traffic on an abandoned route.
+func (q *msgQueue) pushRouted(m Message, version uint64) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrQueueClosed
+	}
+	if version <= q.stale {
+		return errStaleRoute
+	}
+	q.items = append(q.items, m)
+	q.cond.Signal()
+	return nil
+}
+
+// detach fences the queue at the given snapshot version: every subsequent
+// pushRouted carrying that version or older is refused. Monotonic — a later
+// fence never lowers an earlier one.
+func (q *msgQueue) detach(version uint64) {
+	q.mu.Lock()
+	if version > q.stale {
+		q.stale = version
+	}
+	q.mu.Unlock()
+}
+
+// pushAll appends a batch in order, waking all readers once. The queue
+// transfer of a rebind uses it to land the moved messages atomically with
+// respect to readers.
+func (q *msgQueue) pushAll(items []Message) error {
+	if len(items) == 0 {
+		return nil
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrQueueClosed
+	}
+	q.items = append(q.items, items...)
+	q.cond.Broadcast()
 	return nil
 }
 

@@ -1,0 +1,250 @@
+package bus
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// This file is the *routing* layer of the bus — the first of the three
+// layers the package decomposes into:
+//
+//	routing   (this file)  — who talks to whom: instances, interfaces and
+//	                         bindings held in an immutable snapshot
+//	                         (routingTable) behind an atomic pointer. The
+//	                         data plane reads it lock-free; every topology
+//	                         change builds and publishes a successor
+//	                         copy-on-write.
+//	queueing  (queue.go)   — per-endpoint message FIFOs owned by the
+//	                         snapshot entries, each with its own small
+//	                         lock; the only lock a steady-state message
+//	                         ever takes.
+//	transport (attach.go,  — how module runtimes reach the bus: in-process
+//	           tcp.go)       attachments and the TCP wire protocol, both
+//	                         consulting the snapshot, never the writer
+//	                         lock.
+//
+// The split realizes the paper's cost model at the substrate level: the
+// steady-state Send/Deliver path pays one atomic load plus one per-queue
+// lock, while reconfiguration — the rare writer — pays the full snapshot
+// rebuild under Bus.mu. Rolling a failed topology edit back is installing
+// a prior snapshot (with a fresh epoch).
+
+// errStaleRoute reports a routed push that resolved its target from a
+// snapshot that a topology change has since invalidated for that queue.
+// The writer retries against the current snapshot (write → writeSlow); the
+// sentinel never escapes the package.
+var errStaleRoute = errors.New("bus: route resolved from a stale snapshot")
+
+// routeSet is the precomputed delivery fan-out of one sending endpoint.
+type routeSet struct {
+	src     *iface
+	targets []*iface
+}
+
+// routingTable is one immutable topology snapshot. Everything reachable
+// from it is either itself immutable (the maps and slices, an instance's
+// interface set) or owns its own fine-grained lock (message queues, the
+// per-instance runtime state). A table is never mutated after publish;
+// version increases by exactly one per published successor.
+type routingTable struct {
+	version   uint64
+	instances map[string]*instance
+	bindings  []Binding
+
+	// routes maps every *sending* endpoint to its delivery targets,
+	// precomputed at build time so the hot path does no binding scan and
+	// allocates nothing.
+	routes map[Endpoint]routeSet
+}
+
+// lookup resolves an endpoint to its interface entry.
+func (t *routingTable) lookup(e Endpoint) (*iface, error) {
+	in, ok := t.instances[e.Instance]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoInstance, e.Instance)
+	}
+	ifc, ok := in.ifaces[e.Interface]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoInterface, e)
+	}
+	return ifc, nil
+}
+
+// route returns the delivery target when a message written on from is
+// carried by the binding bd: the opposite endpoint, if it receives.
+func (t *routingTable) route(bd Binding, from Endpoint) (Endpoint, bool) {
+	var other Endpoint
+	switch from {
+	case bd.A:
+		other = bd.B
+	case bd.B:
+		other = bd.A
+	default:
+		return Endpoint{}, false
+	}
+	ifc, err := t.lookup(other)
+	if err != nil || !ifc.spec.Dir.Receives() {
+		return Endpoint{}, false
+	}
+	return other, true
+}
+
+// draft opens a mutable working copy of the table for the editor. Instance
+// objects are shared (their interface sets are immutable and their runtime
+// state is independently locked); only the topology containers are copied.
+func (t *routingTable) draft() *topologyDraft {
+	insts := make(map[string]*instance, len(t.instances))
+	for name, in := range t.instances {
+		insts[name] = in
+	}
+	binds := make([]Binding, len(t.bindings))
+	copy(binds, t.bindings)
+	return &topologyDraft{instances: insts, bindings: binds}
+}
+
+// topologyDraft is the editor's mutable view between a draft() and a
+// build(). It exists only while the writer lock is held and is discarded
+// whole on any validation failure, which is what makes multi-edit
+// operations (Rebind) atomic: either the built successor is published or
+// the previous snapshot simply remains current.
+type topologyDraft struct {
+	instances map[string]*instance
+	bindings  []Binding
+
+	// events collects the observer events the edits correspond to; the
+	// caller emits them only after the successor snapshot is published, so
+	// a failed edit leaves no phantom trail.
+	events []Event
+}
+
+// build freezes the draft into a published-ready snapshot, precomputing
+// the route sets.
+func (d *topologyDraft) build(version uint64) *routingTable {
+	t := &routingTable{
+		version:   version,
+		instances: d.instances,
+		bindings:  d.bindings,
+		routes:    make(map[Endpoint]routeSet),
+	}
+	for name, in := range d.instances {
+		for ifName, ifc := range in.ifaces {
+			if !ifc.spec.Dir.Sends() {
+				continue
+			}
+			from := Endpoint{Instance: name, Interface: ifName}
+			rs := routeSet{src: ifc}
+			for _, bd := range t.bindings {
+				if other, ok := t.route(bd, from); ok {
+					tgt, _ := t.lookup(other)
+					rs.targets = append(rs.targets, tgt)
+				}
+			}
+			t.routes[from] = rs
+		}
+	}
+	return t
+}
+
+func (d *topologyDraft) lookup(e Endpoint) (*iface, error) {
+	in, ok := d.instances[e.Instance]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoInstance, e.Instance)
+	}
+	ifc, ok := in.ifaces[e.Interface]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoInterface, e)
+	}
+	return ifc, nil
+}
+
+// addBinding validates and appends a binding, recording the event.
+func (d *topologyDraft) addBinding(a, c Endpoint) error {
+	ia, err := d.lookup(a)
+	if err != nil {
+		return err
+	}
+	ic, err := d.lookup(c)
+	if err != nil {
+		return err
+	}
+	if !(ia.spec.Dir.Sends() && ic.spec.Dir.Receives()) && !(ic.spec.Dir.Sends() && ia.spec.Dir.Receives()) {
+		return fmt.Errorf("%w: %s (%s) <-> %s (%s)", ErrDirection, a, ia.spec.Dir, c, ic.spec.Dir)
+	}
+	for _, bd := range d.bindings {
+		if (bd.A == a && bd.B == c) || (bd.A == c && bd.B == a) {
+			return fmt.Errorf("bus: binding %s <-> %s already exists", a, c)
+		}
+	}
+	d.bindings = append(d.bindings, Binding{A: a, B: c})
+	d.events = append(d.events, Event{Kind: EventAddBinding, Detail: a.String() + " <-> " + c.String()})
+	return nil
+}
+
+// deleteBinding removes the binding between two endpoints (in either
+// orientation), recording the event.
+func (d *topologyDraft) deleteBinding(a, c Endpoint) error {
+	for i, bd := range d.bindings {
+		if (bd.A == a && bd.B == c) || (bd.A == c && bd.B == a) {
+			d.bindings = append(d.bindings[:i], d.bindings[i+1:]...)
+			d.events = append(d.events, Event{Kind: EventDeleteBinding, Detail: a.String() + " <-> " + c.String()})
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: %s <-> %s", ErrNoBinding, a, c)
+}
+
+// RoutingView is the narrow read-only surface of the routing layer: an
+// immutable, point-in-time view of the topology. A view never changes
+// after it is taken — two calls to Bus.Routing() around a reconfiguration
+// observe distinct versions — so callers can correlate observations with
+// snapshot epochs (the control plane's stats report the live version as
+// snapshot_version).
+type RoutingView struct {
+	t *routingTable
+}
+
+// Version returns the snapshot's epoch. It increases by one for every
+// published topology change, including the fresh-epoch republish a failed
+// Rebind uses to install the prior topology.
+func (v RoutingView) Version() uint64 { return v.t.version }
+
+// Instances returns the sorted names of the snapshot's instances.
+func (v RoutingView) Instances() []string {
+	names := make([]string, 0, len(v.t.instances))
+	for n := range v.t.instances {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Bindings returns the snapshot's bindings, deterministically sorted by
+// endpoint pair.
+func (v RoutingView) Bindings() []Binding {
+	out := make([]Binding, len(v.t.bindings))
+	copy(out, v.t.bindings)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].A.String() != out[j].A.String() {
+			return out[i].A.String() < out[j].A.String()
+		}
+		return out[i].B.String() < out[j].B.String()
+	})
+	return out
+}
+
+// Targets returns the endpoints a message written on e would be delivered
+// to under this snapshot (the precomputed fan-out the data plane uses).
+func (v RoutingView) Targets(e Endpoint) []Endpoint {
+	var out []Endpoint
+	for _, bd := range v.t.bindings {
+		if other, ok := v.t.route(bd, e); ok {
+			out = append(out, other)
+		}
+	}
+	return out
+}
+
+// Routing returns the current topology snapshot. The view is immutable;
+// reload it to observe later reconfigurations.
+func (b *Bus) Routing() RoutingView { return RoutingView{t: b.routing.Load()} }

@@ -206,7 +206,7 @@ func (s *Server) serveConn(conn net.Conn) {
 				if err := send(serverFrame{Signal: &sig}); err != nil {
 					return
 				}
-			case <-att.inst.done:
+			case <-att.doneChan():
 				_ = send(serverFrame{Deleted: true})
 				return
 			case <-stopPush:

@@ -18,8 +18,8 @@ fi
 echo "== go vet ./..."
 go vet ./...
 
-echo "== go test -race ./internal/bus/... ./internal/quiesce/..."
-go test -race ./internal/bus/... ./internal/quiesce/...
+echo "== go test -race ./internal/bus/... ./internal/quiesce/... ./internal/reconfig/... ./internal/mh/..."
+go test -race ./internal/bus/... ./internal/quiesce/... ./internal/reconfig/... ./internal/mh/...
 
 echo "== fault-injection matrix (kill Replace at every failpoint, twice, racy)"
 go test -run 'Fault|Rollback|Concurrent' -race -count=2 ./...
@@ -33,5 +33,10 @@ echo "== telemetry overhead artifact (flag test, message path, capture amortizat
 RECONFIG_OVERHEAD_JSON="$PWD/BENCH_overhead.json" \
 	go test -run TestOverheadArtifact -count=1 .
 cat BENCH_overhead.json
+
+echo "== bus throughput artifact (1/4/16 concurrent senders over routing snapshots)"
+RECONFIG_BUS_THROUGHPUT_JSON="$PWD/BENCH_bus_throughput.json" \
+	go test -run TestBusThroughputArtifact -count=1 .
+cat BENCH_bus_throughput.json
 
 echo "ok"

@@ -1,0 +1,131 @@
+package reconf
+
+// TestBusThroughputArtifact measures multi-sender message throughput on the
+// bus and writes BENCH_bus_throughput.json (scripts/check.sh and `make
+// bench` set RECONFIG_BUS_THROUGHPUT_JSON; a plain `go test` run skips it).
+//
+// The workload is N disjoint sender->sink pairs (N in {1, 4, 16}), each
+// sender blasting messages while its sink drains with blocking reads. Under
+// the pre-refactor global bus mutex, aggregate throughput *fell* as senders
+// were added; with lock-free routing snapshots each pair contends only on
+// its own queue lock, so aggregate throughput should grow with sender count
+// until the hardware saturates. The per-config numbers (msgs/sec, ns/msg)
+// are the "routing overhead" row of EXPERIMENTS.md.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/bus"
+)
+
+// throughputRun drives one configuration and returns aggregate msgs/sec.
+func throughputRun(t *testing.T, senders, perSender int) float64 {
+	t.Helper()
+	b := bus.New()
+	atts := make([]*bus.Attachment, senders)
+	sinks := make([]*bus.Attachment, senders)
+	for i := 0; i < senders; i++ {
+		src := fmt.Sprintf("s%d", i)
+		dst := fmt.Sprintf("d%d", i)
+		for _, spec := range []bus.InstanceSpec{
+			{Name: src, Interfaces: []bus.IfaceSpec{{Name: "out", Dir: bus.Out}}},
+			{Name: dst, Interfaces: []bus.IfaceSpec{{Name: "in", Dir: bus.In}}},
+		} {
+			if err := b.AddInstance(spec); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := b.AddBinding(bus.Endpoint{Instance: src, Interface: "out"}, bus.Endpoint{Instance: dst, Interface: "in"}); err != nil {
+			t.Fatal(err)
+		}
+		var err error
+		if atts[i], err = b.Attach(src); err != nil {
+			t.Fatal(err)
+		}
+		if sinks[i], err = b.Attach(dst); err != nil {
+			t.Fatal(err)
+		}
+	}
+	payload := make([]byte, 64)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < senders; i++ {
+		wg.Add(2)
+		go func(a *bus.Attachment) {
+			defer wg.Done()
+			for j := 0; j < perSender; j++ {
+				if err := a.Write("out", payload); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(atts[i])
+		go func(a *bus.Attachment) {
+			defer wg.Done()
+			for j := 0; j < perSender; j++ {
+				if _, err := a.Read("in"); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(sinks[i])
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	return float64(senders*perSender) / elapsed.Seconds()
+}
+
+func TestBusThroughputArtifact(t *testing.T) {
+	out := os.Getenv("RECONFIG_BUS_THROUGHPUT_JSON")
+	if out == "" {
+		t.Skip("set RECONFIG_BUS_THROUGHPUT_JSON=<path> to emit the throughput artifact")
+	}
+	const (
+		perSender = 25000
+		reps      = 3
+	)
+	type config struct {
+		Senders    int     `json:"senders"`
+		Messages   int     `json:"messages"`
+		MsgsPerSec float64 `json:"msgs_per_sec"`
+		NsPerMsg   float64 `json:"ns_per_msg"`
+	}
+	var configs []config
+	for _, senders := range []int{1, 4, 16} {
+		// Best of reps, benchmark-style: throughput noise is one-sided
+		// (scheduler interference only slows a run down).
+		best := 0.0
+		for r := 0; r < reps; r++ {
+			if mps := throughputRun(t, senders, perSender); mps > best {
+				best = mps
+			}
+		}
+		configs = append(configs, config{
+			Senders:    senders,
+			Messages:   senders * perSender,
+			MsgsPerSec: best,
+			NsPerMsg:   1e9 / best,
+		})
+		t.Logf("senders=%d msgs/sec=%.0f ns/msg=%.1f", senders, best, 1e9/best)
+	}
+	report := map[string]any{
+		"workload": fmt.Sprintf("N disjoint sender->sink pairs, %d msgs each, 64-byte payload, best of %d", perSender, reps),
+		"configs":  configs,
+		"scaling_16_vs_1": map[string]float64{
+			"throughput_ratio": configs[2].MsgsPerSec / configs[0].MsgsPerSec,
+		},
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", out)
+}
