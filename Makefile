@@ -9,8 +9,9 @@ test:
 check:
 	./scripts/check.sh
 
-# Benchmark artifacts: replace latency, steady-state overhead, and
-# multi-sender bus throughput, written as BENCH_*.json in the repo root.
+# Benchmark artifacts: replace latency, steady-state overhead, multi-sender
+# bus throughput, and trace overhead, written as BENCH_*.json in the repo
+# root.
 .PHONY: bench
 bench:
 	RECONFIG_BENCH_JSON="$(CURDIR)/BENCH_reconfig_latency.json" \
@@ -19,3 +20,5 @@ bench:
 		go test -run TestOverheadArtifact -count=1 .
 	RECONFIG_BUS_THROUGHPUT_JSON="$(CURDIR)/BENCH_bus_throughput.json" \
 		go test -run TestBusThroughputArtifact -count=1 .
+	RECONFIG_TRACE_OVERHEAD_JSON="$(CURDIR)/BENCH_trace_overhead.json" \
+		go test -run TestTraceOverheadArtifact -count=1 .

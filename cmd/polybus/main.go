@@ -7,6 +7,7 @@
 //
 //	polybus -spec app.mil -srcdir ./modules [-app name] \
 //	        [-listen 127.0.0.1:7007] [-control 127.0.0.1:7008] \
+//	        [-obs-addr 127.0.0.1:7009] [-trace-sample 100] \
 //	        [-duration 30s] [-sleepunit 10ms]
 //
 // Module sources are read from <srcdir>/<module>/*.go. Modules without a
@@ -44,6 +45,9 @@ func run(args []string) error {
 		appName    = fs.String("app", "", "application name (default: the sole one)")
 		listenAddr = fs.String("listen", "", "TCP address for remote module attachments")
 		ctlAddr    = fs.String("control", "", "TCP address for the reconfiguration control plane")
+		obsAddr    = fs.String("obs-addr", "", "HTTP address for /metrics, /healthz, /traces")
+		traceSmpl  = fs.Int("trace-sample", 0, "sample 1-in-N message traces into the flight recorder (0 = off)")
+		traceBuf   = fs.Int("trace-buffer", 0, "flight recorder capacity in spans (0 = default)")
 		duration   = fs.Duration("duration", 0, "run time (0 = until interrupted)")
 		sleepUnit  = fs.Duration("sleepunit", 10*time.Millisecond, "duration of one mh.Sleep tick")
 	)
@@ -63,6 +67,8 @@ func run(args []string) error {
 		Application: *appName,
 		Sources:     map[string]reconf.ModuleSource{},
 		SleepUnit:   *sleepUnit,
+		TraceSample: *traceSmpl,
+		TraceBuffer: *traceBuf,
 	}
 	entries, err := os.ReadDir(*srcDir)
 	if err != nil {
@@ -122,6 +128,15 @@ func run(args []string) error {
 		ctl := app.ServeControl(l)
 		defer ctl.Close()
 		fmt.Println("control plane on", ctl.Addr())
+	}
+	if *obsAddr != "" {
+		l, err := net.Listen("tcp", *obsAddr)
+		if err != nil {
+			return err
+		}
+		obs := app.ServeObs(l)
+		defer obs.Close()
+		fmt.Println("observability on", obs.Addr())
 	}
 
 	sigs := make(chan os.Signal, 1)

@@ -1,7 +1,9 @@
 package main
 
 import (
+	"io"
 	"net"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
@@ -54,6 +56,7 @@ func TestPolybusServesAndIsControllable(t *testing.T) {
 	specFile, srcDir := writeApp(t)
 	ctlAddr := freePort(t)
 	busAddr := freePort(t)
+	obsAddr := freePort(t)
 
 	done := make(chan error, 1)
 	go func() {
@@ -62,6 +65,8 @@ func TestPolybusServesAndIsControllable(t *testing.T) {
 			"-srcdir", srcDir,
 			"-control", ctlAddr,
 			"-listen", busAddr,
+			"-obs-addr", obsAddr,
+			"-trace-sample", "1",
 			"-duration", "4s",
 			"-sleepunit", "1ms",
 		})
@@ -106,6 +111,17 @@ func TestPolybusServesAndIsControllable(t *testing.T) {
 		t.Fatalf("stats = %q, %v", stats, err)
 	}
 
+	// The observability endpoint serves Prometheus metrics and health.
+	metrics := obsGet(t, "http://"+obsAddr+"/metrics")
+	for _, want := range []string{"bus_delivered_total", "bus_rebinds_total 1", "reconfig_tx_total_ns_count"} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	if got := obsGet(t, "http://"+obsAddr+"/healthz"); !strings.Contains(got, "ok") {
+		t.Errorf("/healthz = %q, want ok", got)
+	}
+
 	select {
 	case err := <-done:
 		if err != nil {
@@ -114,6 +130,20 @@ func TestPolybusServesAndIsControllable(t *testing.T) {
 	case <-time.After(15 * time.Second):
 		t.Fatal("polybus never exited")
 	}
+}
+
+func obsGet(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
 }
 
 func TestPolybusValidation(t *testing.T) {

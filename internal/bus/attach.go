@@ -71,6 +71,14 @@ func (a *Attachment) Write(ifaceName string, data []byte) error {
 	return a.bus.write(Endpoint{Instance: a.inst.spec.Name, Interface: ifaceName}, data)
 }
 
+// WriteTraced is Write carrying the causal parent context: the module
+// runtime passes the TraceContext of the message it is responding to, and
+// the bus stamps the outgoing message with a child span. A zero parent is
+// equivalent to Write (the bus mints a root).
+func (a *Attachment) WriteTraced(ifaceName string, data []byte, parent TraceContext) error {
+	return a.bus.writeTraced(Endpoint{Instance: a.inst.spec.Name, Interface: ifaceName}, data, parent)
+}
+
 // Read blocks until a message arrives on the named interface (mh_read).
 // It fails with ErrStopped if the instance is deleted while blocked.
 func (a *Attachment) Read(ifaceName string) (Message, error) {
@@ -81,6 +89,9 @@ func (a *Attachment) Read(ifaceName string) (Message, error) {
 	m, err := q.pop()
 	if errors.Is(err, ErrQueueClosed) {
 		return Message{}, ErrStopped
+	}
+	if err == nil {
+		a.recordDelivery(ifaceName, m)
 	}
 	return m, err
 }
@@ -96,7 +107,22 @@ func (a *Attachment) TryRead(ifaceName string) (Message, bool, error) {
 	if errors.Is(err, ErrQueueClosed) {
 		return Message{}, false, ErrStopped
 	}
+	if err == nil && ok {
+		a.recordDelivery(ifaceName, m)
+	}
 	return m, ok, err
+}
+
+// recordDelivery closes the message's delivery span in the flight recorder.
+// A no-op unless the context is sampled and the bus tracer records — the
+// unsampled read path pays one flag test, mirroring the paper's claim about
+// the transformation's steady-state cost.
+func (a *Attachment) recordDelivery(ifaceName string, m Message) {
+	if !m.Trace.Sampled() {
+		return
+	}
+	to := Endpoint{Instance: a.inst.spec.Name, Interface: ifaceName}
+	a.bus.tracer.RecordDelivery(m.Trace, m.From.String(), to.String(), time.Now().UnixNano())
 }
 
 // Pending returns the number of messages queued on the named interface

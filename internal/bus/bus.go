@@ -33,6 +33,7 @@ import (
 
 	"repro/internal/faultinject"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/trace"
 )
 
 // Direction describes which way messages flow on an interface, derived from
@@ -76,10 +77,19 @@ type Endpoint struct {
 // String renders "instance.interface".
 func (e Endpoint) String() string { return e.Instance + "." + e.Interface }
 
-// Message is one datum in flight: who sent it and the codec-encoded payload.
+// TraceContext is the causal-tracing context a message carries (see
+// repro/internal/telemetry/trace). The alias keeps the wire format and the
+// Port-facing API inside this package.
+type TraceContext = trace.Context
+
+// Message is one datum in flight: who sent it, the codec-encoded payload,
+// and the trace context the bus stamped at send. The zero Trace means
+// untraced; gob omits it from the wire, so frames from peers without
+// tracing decode unchanged (and vice versa).
 type Message struct {
-	From Endpoint
-	Data []byte
+	From  Endpoint
+	Data  []byte
+	Trace TraceContext
 }
 
 // IfaceSpec declares one interface when registering an instance.
@@ -232,11 +242,13 @@ type Bus struct {
 	clock  func() time.Time
 	faults atomic.Pointer[faultinject.Set]
 	telem  *telemetry.Registry
+	tracer *trace.Tracer
 
 	// Observers have their own lock: emit may run with or without b.mu held,
 	// and observer registration must not race the dispatch snapshot.
 	obsMu     sync.Mutex
 	observers []*observerQueue
+	obsClosed bool
 }
 
 // busStats holds the activity counters as atomics so the lock-free write
@@ -273,14 +285,24 @@ func WithTelemetry(reg *telemetry.Registry) BusOption {
 	return func(b *Bus) { b.telem = reg }
 }
 
+// WithMsgTracer sets the bus's message tracer. The default (an unsampled
+// tracer) stamps causal contexts but records nothing; a sampling tracer
+// additionally records delivery spans into its flight recorder. Passing nil
+// disables stamping entirely — messages carry the zero TraceContext — which
+// is the baseline arm of the trace-overhead benchmark.
+func WithMsgTracer(tr *trace.Tracer) BusOption {
+	return func(b *Bus) { b.tracer = tr }
+}
+
 // New creates an empty bus. Failpoints default to the process-wide set
 // configured by the FAULTPOINTS environment variable (usually empty).
 // Telemetry is on by default with a fresh registry; override with
 // WithTelemetry.
 func New(opts ...BusOption) *Bus {
 	b := &Bus{
-		clock: time.Now,
-		telem: telemetry.NewRegistry(),
+		clock:  time.Now,
+		telem:  telemetry.NewRegistry(),
+		tracer: trace.NewTracer(0, nil),
 	}
 	b.faults.Store(faultinject.Default())
 	b.routing.Store((&topologyDraft{instances: map[string]*instance{}}).build(1))
@@ -292,6 +314,10 @@ func New(opts ...BusOption) *Bus {
 
 // Telemetry returns the bus's metrics registry (nil when disabled).
 func (b *Bus) Telemetry() *telemetry.Registry { return b.telem }
+
+// MsgTracer returns the bus's message tracer (nil when stamping is
+// disabled).
+func (b *Bus) MsgTracer() *trace.Tracer { return b.tracer }
 
 // SetFaults overrides the bus's fault-injection set (tests arm their own so
 // parallel tests do not share failpoints). A nil set disables injection.
@@ -314,7 +340,30 @@ func (b *Bus) fire(site string) error {
 func (b *Bus) Observe(fn func(Event)) {
 	b.obsMu.Lock()
 	defer b.obsMu.Unlock()
+	if b.obsClosed {
+		return
+	}
 	b.observers = append(b.observers, newObserverQueue(fn))
+}
+
+// Close shuts down event dispatch: every event emitted before the call is
+// delivered, the observer mailboxes drain, their goroutines terminate, and
+// later emits are dropped. Close is idempotent and does not affect the data
+// plane — attachments keep working, which lets an owner close observers
+// before tearing instances down.
+func (b *Bus) Close() {
+	b.obsMu.Lock()
+	if b.obsClosed {
+		b.obsMu.Unlock()
+		return
+	}
+	b.obsClosed = true
+	obs := b.observers
+	b.observers = nil
+	b.obsMu.Unlock()
+	for _, o := range obs {
+		o.sync()
+	}
 }
 
 // SyncObservers blocks until every event emitted before the call has been
@@ -332,6 +381,10 @@ func (b *Bus) SyncObservers() {
 func (b *Bus) emit(e Event) {
 	e.Time = b.clock()
 	b.obsMu.Lock()
+	if b.obsClosed {
+		b.obsMu.Unlock()
+		return
+	}
 	obs := b.observers
 	b.obsMu.Unlock()
 	for _, o := range obs {
@@ -531,31 +584,31 @@ func (b *Bus) MoveQueue(from, to Endpoint) error {
 	if err != nil {
 		return err
 	}
-	b.stats.moves.Add(int64(moved))
-	b.emit(Event{Kind: EventMoveQueue, Detail: fmt.Sprintf("%s -> %s (%d msgs)", from, to, moved)})
+	b.stats.moves.Add(int64(len(moved)))
+	b.emit(Event{Kind: EventMoveQueue, Detail: fmt.Sprintf("%s -> %s (%d msgs)", from, to, len(moved)), TraceIDs: traceIDsOf(moved)})
 	return nil
 }
 
-// moveQueueLocked drains from's queue into to's under the writer lock.
-// The topology is untouched: messages arriving after the drain keep landing
-// at from, exactly as before the refactor.
-func (b *Bus) moveQueueLocked(rt *routingTable, from, to Endpoint) (int, error) {
+// moveQueueLocked drains from's queue into to's under the writer lock and
+// returns the moved messages. The topology is untouched: messages arriving
+// after the drain keep landing at from, exactly as before the refactor.
+func (b *Bus) moveQueueLocked(rt *routingTable, from, to Endpoint) ([]Message, error) {
 	fi, err := rt.lookup(from)
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
 	ti, err := rt.lookup(to)
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
 	if fi.queue == nil || ti.queue == nil {
-		return 0, fmt.Errorf("%w: queue move needs receiving interfaces (%s -> %s)", ErrDirection, from, to)
+		return nil, fmt.Errorf("%w: queue move needs receiving interfaces (%s -> %s)", ErrDirection, from, to)
 	}
 	moved := fi.queue.drain()
 	if err := ti.queue.pushAll(moved); err != nil {
-		return 0, fmt.Errorf("bus: move queue %s -> %s: %w", from, to, err)
+		return nil, fmt.Errorf("bus: move queue %s -> %s: %w", from, to, err)
 	}
-	return len(moved), nil
+	return moved, nil
 }
 
 // DrainQueue discards all pending messages at the endpoint — the "rmq"
@@ -570,9 +623,37 @@ func (b *Bus) DrainQueue(e Endpoint) (int, error) {
 	if ifc.queue == nil {
 		return 0, fmt.Errorf("%w: %s does not receive", ErrDirection, e)
 	}
-	n := len(ifc.queue.drain())
-	b.emit(Event{Kind: EventDrainQueue, Detail: fmt.Sprintf("%s (%d msgs)", e, n)})
-	return n, nil
+	dropped := ifc.queue.drain()
+	b.emit(Event{Kind: EventDrainQueue, Detail: fmt.Sprintf("%s (%d msgs)", e, len(dropped)), TraceIDs: traceIDsOf(dropped)})
+	return len(dropped), nil
+}
+
+// traceIDsOf collects the distinct nonzero trace IDs of a message batch, in
+// first-seen order, capped at 8 — enough for event-log correlation without
+// unbounded event payloads.
+func traceIDsOf(msgs []Message) []uint64 {
+	var ids []uint64
+	for _, m := range msgs {
+		id := m.Trace.TraceID
+		if id == 0 {
+			continue
+		}
+		dup := false
+		for _, seen := range ids {
+			if seen == id {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		ids = append(ids, id)
+		if len(ids) == 8 {
+			break
+		}
+	}
+	return ids
 }
 
 // BindEdit is one entry of an atomic rebinding batch, mirroring the
@@ -692,11 +773,11 @@ func (b *Bus) Rebind(edits []BindEdit) error {
 				return fmt.Errorf("bus: rebind cq %s -> %s: %w", e.From, e.To, err)
 			}
 			moves += len(moved)
-			d.events = append(d.events, Event{Kind: EventMoveQueue, Detail: fmt.Sprintf("%s -> %s (%d msgs)", e.From, e.To, len(moved))})
+			d.events = append(d.events, Event{Kind: EventMoveQueue, Detail: fmt.Sprintf("%s -> %s (%d msgs)", e.From, e.To, len(moved)), TraceIDs: traceIDsOf(moved)})
 		case "rmq":
 			fi, _ := cur.lookup(e.From)
-			n := len(fi.queue.drain())
-			d.events = append(d.events, Event{Kind: EventDrainQueue, Detail: fmt.Sprintf("%s (%d msgs)", e.From, n)})
+			dropped := fi.queue.drain()
+			d.events = append(d.events, Event{Kind: EventDrainQueue, Detail: fmt.Sprintf("%s (%d msgs)", e.From, len(dropped)), TraceIDs: traceIDsOf(dropped)})
 		}
 	}
 	b.routing.Store(d.build(cur.version + 1))
@@ -941,6 +1022,48 @@ func (b *Bus) Info(name string) (InstanceInfo, error) {
 	return info, nil
 }
 
+// QueuedMessage describes one message pending at a receiving interface:
+// where it waits, the trace context it carries, and how long it has been in
+// flight (AgeNs is -1 when the message carries no send timestamp, i.e. it
+// was written on a bus with stamping disabled).
+type QueuedMessage struct {
+	Endpoint Endpoint
+	Trace    TraceContext
+	AgeNs    int64
+}
+
+// QueuedMessages snapshots the messages still queued toward an instance,
+// oldest first per interface, interfaces in name order. The reconfiguration
+// layer calls it when a Replace enters its quiesce wait, so the transaction
+// trace can show which in-flight traffic the quiesce waited on.
+func (b *Bus) QueuedMessages(name string) ([]QueuedMessage, error) {
+	in, ok := b.routing.Load().instances[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoInstance, name)
+	}
+	now := b.clock().UnixNano()
+	names := make([]string, 0, len(in.ifaces))
+	for n := range in.ifaces {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var out []QueuedMessage
+	for _, n := range names {
+		ifc := in.ifaces[n]
+		if ifc.queue == nil {
+			continue
+		}
+		for _, m := range ifc.queue.snapshot() {
+			qm := QueuedMessage{Endpoint: Endpoint{Instance: name, Interface: n}, Trace: m.Trace, AgeNs: -1}
+			if m.Trace.SentNs != 0 {
+				qm.AgeNs = now - m.Trace.SentNs
+			}
+			out = append(out, qm)
+		}
+	}
+	return out, nil
+}
+
 // Bindings returns a copy of all current bindings, deterministically sorted
 // by endpoint pair.
 func (b *Bus) Bindings() []Binding {
@@ -996,6 +1119,13 @@ func (b *Bus) IfSources(e Endpoint) ([]Endpoint, error) {
 
 // write routes a message from the given endpoint to every bound receiving
 // endpoint. Called by Attachment.Write.
+func (b *Bus) write(from Endpoint, data []byte) error {
+	return b.writeTraced(from, data, TraceContext{})
+}
+
+// writeTraced is write carrying a causal parent: the runtime passes the
+// context of the message it is responding to, and the bus stamps the
+// outgoing message with a child span (or mints a root when parent is zero).
 //
 // This is the steady-state hot path: one atomic snapshot load, a map
 // lookup into the precomputed route set, and one lock per target queue —
@@ -1003,7 +1133,7 @@ func (b *Bus) IfSources(e Endpoint) ([]Endpoint, error) {
 // way traffic meets reconfiguration is the stale-route fence: a push
 // refused because its route was resolved from a fenced snapshot falls to
 // writeSlow, which serializes with the writer lock and re-resolves.
-func (b *Bus) write(from Endpoint, data []byte) error {
+func (b *Bus) writeTraced(from Endpoint, data []byte, parent TraceContext) error {
 	rt := b.routing.Load()
 	rs, ok := rt.routes[from]
 	if !ok {
@@ -1020,6 +1150,9 @@ func (b *Bus) write(from Endpoint, data []byte) error {
 		return fmt.Errorf("%w: %s", ErrUnbound, from)
 	}
 	msg := Message{From: from, Data: data}
+	if b.tracer != nil {
+		msg.Trace = b.tracer.Stamp(parent)
+	}
 	var delivered int64
 	for i, t := range rs.targets {
 		switch t.queue.pushRouted(msg, rt.version) {

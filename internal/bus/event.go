@@ -53,12 +53,16 @@ func (k EventKind) String() string {
 	return fmt.Sprintf("event(%d)", int(k))
 }
 
-// Event is one observable bus action.
+// Event is one observable bus action. TraceIDs carries the distinct trace
+// IDs of the messages a queue transfer (cq/rmq) touched, so the event log
+// and the flight recorder correlate on the same identifiers; it is kept out
+// of String() to leave the rendered audit trail stable.
 type Event struct {
 	Time     time.Time
 	Kind     EventKind
 	Instance string
 	Detail   string
+	TraceIDs []uint64
 }
 
 // String renders "kind instance detail".

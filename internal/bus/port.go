@@ -33,3 +33,17 @@ type Port interface {
 }
 
 var _ Port = (*Attachment)(nil)
+
+// TracedWriter is the optional capability a Port may offer for causal
+// tracing: Write carrying the parent TraceContext of the message being
+// responded to. The mh runtime type-asserts for it — a Port without it
+// (e.g. a test stub) simply breaks the causal chain at that hop, it does
+// not fail.
+type TracedWriter interface {
+	// WriteTraced emits data on the named interface, stamped as a causal
+	// child of parent (a zero parent mints a new root, like Write).
+	WriteTraced(iface string, data []byte, parent TraceContext) error
+}
+
+var _ TracedWriter = (*Attachment)(nil)
+var _ TracedWriter = (*RemotePort)(nil)

@@ -32,6 +32,11 @@ type clientFrame struct {
 	Iface     string
 	Data      []byte // payload; for confirmrestore, the error text ("" = success)
 	TimeoutMs int64
+	// Trace carries the causal parent of a "write". Gob omits zero-valued
+	// struct fields and drops fields unknown to the receiver, so frames from
+	// pre-trace peers decode unchanged and pre-trace peers ignore this field
+	// (pinned by the golden-bytes test in tcp_test.go).
+	Trace TraceContext
 }
 
 type helloAck struct {
@@ -248,7 +253,7 @@ func (s *Server) handle(att *Attachment, req clientFrame) serverFrame {
 	}
 	switch req.Op {
 	case "write":
-		if err := att.Write(req.Iface, req.Data); err != nil {
+		if err := att.WriteTraced(req.Iface, req.Data, req.Trace); err != nil {
 			return fail(err)
 		}
 	case "read":
@@ -502,6 +507,14 @@ func (p *RemotePort) Status() string { return p.hello.Status }
 // Write implements Port.
 func (p *RemotePort) Write(iface string, data []byte) error {
 	_, err := p.call(clientFrame{Op: "write", Iface: iface, Data: data})
+	return err
+}
+
+// WriteTraced implements TracedWriter: the parent context crosses the wire
+// in the frame and the serving bus stamps the child span, so causal chains
+// survive the TCP hop.
+func (p *RemotePort) WriteTraced(iface string, data []byte, parent TraceContext) error {
+	_, err := p.call(clientFrame{Op: "write", Iface: iface, Data: data, Trace: parent})
 	return err
 }
 

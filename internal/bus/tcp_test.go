@@ -1,8 +1,12 @@
 package bus
 
 import (
+	"bytes"
+	"encoding/gob"
+	"encoding/hex"
 	"errors"
 	"net"
+	"reflect"
 	"testing"
 	"time"
 )
@@ -283,5 +287,127 @@ func TestErrKindRoundTrip(t *testing.T) {
 	}
 	if errKind(errors.New("x")) != "other" {
 		t.Error("unknown error kind")
+	}
+}
+
+// ---- wire-format compatibility ----------------------------------------
+//
+// The Trace field added to clientFrame and Message must not break framing
+// against peers built before it existed. Gob omits zero-valued fields and
+// skips fields unknown to the receiver, so compatibility holds in both
+// directions; the golden bytes below were captured from the pre-trace
+// encoder and pin the backward direction against regression.
+
+// preTrace* mirror the wire structs exactly as they were before the Trace
+// field existed (gob matches struct fields by name, not type name).
+type preTraceClientFrame struct {
+	ID        uint64
+	Op        string
+	Instance  string
+	Iface     string
+	Data      []byte
+	TimeoutMs int64
+}
+
+type preTraceMessage struct {
+	From Endpoint
+	Data []byte
+}
+
+type preTraceServerFrame struct {
+	ID      uint64
+	Hello   *helloAck
+	Err     string
+	ErrKind string
+	Msg     *preTraceMessage
+	OK      bool
+	N       int
+	Data    []byte
+	Signal  *Signal
+	Deleted bool
+}
+
+// Gob streams of clientFrame{ID: 7, Op: "write", Iface: "out",
+// Data: "payload", TimeoutMs: 250} and serverFrame{ID: 7, Msg:
+// &Message{From: sensor.out, Data: "payload"}, OK: true, N: 3} as encoded
+// before the Trace field existed.
+const (
+	goldenPreTraceClientWrite = "547f0301010b636c69656e744672616d6501ff800001060102494401060001024f70010c000108496e7374616e6365010c0001054966616365010c00010444617461010a00010954696d656f75744d7301040000001eff8001070105777269746502036f757401077061796c6f616401fe01f400"
+	goldenPreTraceServerMsg   = "76ff810301010b7365727665724672616d6501ff8200010a01024944010600010548656c6c6f01ff84000103457272010c0001074572724b696e64010c0001034d736701ff860001024f4b01020001014e010400010444617461010a0001065369676e616c01ff8a00010744656c65746564010200000036ff830301010868656c6c6f41636b01ff8400010301044e616d65010c0001074d616368696e65010c000106537461747573010c00000028ff85030101074d65737361676501ff86000102010446726f6d01ff8800010444617461010a00000031ff8703010108456e64706f696e7401ff880001020108496e7374616e6365010c000109496e74657266616365010c0000001dff89030101065369676e616c01ff8a00010101044b696e64010400000023ff8201070401010673656e736f7201036f75740001077061796c6f6164000101010600"
+)
+
+// TestWireFormatBackwardCompat decodes the golden pre-trace byte streams
+// under the current types: every field survives and Trace is zero.
+func TestWireFormatBackwardCompat(t *testing.T) {
+	raw, err := hex.DecodeString(goldenPreTraceClientWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cf clientFrame
+	if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&cf); err != nil {
+		t.Fatalf("pre-trace clientFrame no longer decodes: %v", err)
+	}
+	wantCF := clientFrame{ID: 7, Op: "write", Iface: "out", Data: []byte("payload"), TimeoutMs: 250}
+	if !reflect.DeepEqual(cf, wantCF) {
+		t.Errorf("decoded clientFrame = %+v, want %+v", cf, wantCF)
+	}
+
+	raw, err = hex.DecodeString(goldenPreTraceServerMsg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sf serverFrame
+	if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&sf); err != nil {
+		t.Fatalf("pre-trace serverFrame no longer decodes: %v", err)
+	}
+	if sf.ID != 7 || !sf.OK || sf.N != 3 {
+		t.Errorf("decoded serverFrame = %+v", sf)
+	}
+	wantMsg := Message{From: Endpoint{"sensor", "out"}, Data: []byte("payload")}
+	if sf.Msg == nil || !reflect.DeepEqual(*sf.Msg, wantMsg) {
+		t.Errorf("decoded Msg = %+v, want %+v (with zero Trace)", sf.Msg, wantMsg)
+	}
+}
+
+// TestWireFormatForwardCompat encodes current frames — with and without a
+// trace context — and decodes them under the pre-trace mirror types, as an
+// old peer would.
+func TestWireFormatForwardCompat(t *testing.T) {
+	encode := func(v any) []byte {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	wantCF := preTraceClientFrame{ID: 7, Op: "write", Iface: "out", Data: []byte("payload"), TimeoutMs: 250}
+
+	for name, frame := range map[string]clientFrame{
+		"untraced": {ID: 7, Op: "write", Iface: "out", Data: []byte("payload"), TimeoutMs: 250},
+		"traced": {ID: 7, Op: "write", Iface: "out", Data: []byte("payload"), TimeoutMs: 250,
+			Trace: TraceContext{TraceID: 9, SpanID: 4, Hops: 2, Flags: 1, SentNs: 123}},
+	} {
+		var got preTraceClientFrame
+		if err := gob.NewDecoder(bytes.NewReader(encode(frame))).Decode(&got); err != nil {
+			t.Fatalf("%s frame does not decode for an old peer: %v", name, err)
+		}
+		if !reflect.DeepEqual(got, wantCF) {
+			t.Errorf("%s frame decoded as %+v, want %+v", name, got, wantCF)
+		}
+	}
+
+	sf := serverFrame{ID: 7, OK: true, N: 3, Msg: &Message{
+		From:  Endpoint{"sensor", "out"},
+		Data:  []byte("payload"),
+		Trace: TraceContext{TraceID: 9, SpanID: 5, SentNs: 456},
+	}}
+	var got preTraceServerFrame
+	if err := gob.NewDecoder(bytes.NewReader(encode(sf))).Decode(&got); err != nil {
+		t.Fatalf("traced serverFrame does not decode for an old peer: %v", err)
+	}
+	wantSF := preTraceServerFrame{ID: 7, OK: true, N: 3,
+		Msg: &preTraceMessage{From: Endpoint{"sensor", "out"}, Data: []byte("payload")}}
+	if !reflect.DeepEqual(got, wantSF) {
+		t.Errorf("traced serverFrame decoded as %+v, want %+v", got, wantSF)
 	}
 }

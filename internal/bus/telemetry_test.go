@@ -85,14 +85,24 @@ func TestWriteTelemetryAddsNoAllocs(t *testing.T) {
 		ep := Endpoint{"src", "out"}
 		sink := Endpoint{"dst", "in"}
 		payload := []byte("m")
-		return testing.AllocsPerRun(200, func() {
-			if err := b.write(ep, payload); err != nil {
-				t.Fatal(err)
+		// AllocsPerRun counts process-global mallocs, so a straggling
+		// goroutine from an earlier test can inflate one sample; take the
+		// minimum of three — a real per-message allocation shows up in all.
+		best := -1.0
+		for i := 0; i < 3; i++ {
+			n := testing.AllocsPerRun(200, func() {
+				if err := b.write(ep, payload); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := b.DrainQueue(sink); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if best < 0 || n < best {
+				best = n
 			}
-			if _, err := b.DrainQueue(sink); err != nil {
-				t.Fatal(err)
-			}
-		})
+		}
+		return best
 	}
 	off := measure(twoNodeBus(t, WithTelemetry(nil)))
 	on := measure(twoNodeBus(t))

@@ -115,6 +115,15 @@ type Runtime struct {
 	restoreNs    *telemetry.Histogram // Decode -> FinishRestore
 	captureStart time.Time
 	restoreStart time.Time
+
+	// Causal-tracing carry-through: the runtime remembers the trace context
+	// of the last message it read and hands it back to the bus on the next
+	// write, so the causal chain crosses the module without the module's
+	// code knowing tracing exists — the paper's division of labour exactly.
+	// tw is the port's TracedWriter capability, resolved once (nil for stub
+	// ports; the chain simply breaks at that hop).
+	msgCtx bus.TraceContext
+	tw     bus.TracedWriter
 }
 
 // New wraps a bus port in a participation runtime.
@@ -129,6 +138,7 @@ func New(port bus.Port, opts ...Option) *Runtime {
 		logw:         os.Stdout,
 	}
 	r.fatal = func(err error) { panic(Termination{Reason: err.Error()}) }
+	r.tw, _ = port.(bus.TracedWriter)
 	for _, o := range opts {
 		o(r)
 	}
@@ -228,8 +238,13 @@ func (r *Runtime) Read(iface string, ptrs ...any) {
 		r.record(fmt.Errorf("mh: read %s: %w", iface, err))
 		return
 	}
+	r.msgCtx = m.Trace
 	r.decodeInto(iface, m.Data, ptrs)
 }
+
+// TraceContext returns the causal context of the last message this runtime
+// read (the zero Context before any read, or on an untraced bus).
+func (r *Runtime) TraceContext() bus.TraceContext { return r.msgCtx }
 
 func (r *Runtime) decodeInto(iface string, data []byte, ptrs []any) {
 	v, err := r.codec.DecodeValue(data)
@@ -269,7 +284,12 @@ func (r *Runtime) Write(iface string, vals ...any) {
 		r.record(fmt.Errorf("mh: encode message for %s: %w", iface, err))
 		return
 	}
-	if err := r.port.Write(iface, data); err != nil {
+	if r.tw != nil {
+		err = r.tw.WriteTraced(iface, data, r.msgCtx)
+	} else {
+		err = r.port.Write(iface, data)
+	}
+	if err != nil {
 		if errors.Is(err, bus.ErrStopped) {
 			r.failFatal(err)
 			return

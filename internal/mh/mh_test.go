@@ -829,3 +829,49 @@ func TestWithCodecOption(t *testing.T) {
 		t.Errorf("state not gob-encoded: %v", err)
 	}
 }
+
+// TestRuntimeCarriesTraceContext pins the runtime half of causal tracing:
+// the context of the last message read becomes the causal parent of the
+// module's next write, with no module-code involvement — the same
+// runtime-does-the-bookkeeping division as the transformation itself.
+func TestRuntimeCarriesTraceContext(t *testing.T) {
+	b := newMonitorBus(t)
+	rt := attachRT(t, b, "compute")
+	rt.Init()
+	disp, err := b.Attach("display")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if rt.TraceContext().Valid() {
+		t.Error("runtime carries a context before any read")
+	}
+	data, _ := codec.Default().EncodeValue(state.IntValue(2))
+	if err := disp.Write("temper", data); err != nil {
+		t.Fatal(err)
+	}
+	var n int
+	rt.Read("display", &n)
+	if err := rt.Err(); err != nil {
+		t.Fatal(err)
+	}
+	parent := rt.TraceContext()
+	if !parent.Valid() {
+		t.Fatal("read did not capture the message's trace context")
+	}
+
+	rt.Write("display", n*2)
+	if err := rt.Err(); err != nil {
+		t.Fatal(err)
+	}
+	m, err := disp.Read("temper")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Trace.TraceID != parent.TraceID {
+		t.Errorf("write opened trace %d instead of continuing %d", m.Trace.TraceID, parent.TraceID)
+	}
+	if m.Trace.Parent != parent.SpanID || m.Trace.Hops != parent.Hops+1 {
+		t.Errorf("write context %+v is not a child of %+v", m.Trace, parent)
+	}
+}

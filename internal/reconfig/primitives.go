@@ -11,6 +11,7 @@ package reconfig
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/bus"
@@ -47,12 +48,24 @@ type Primitives struct {
 	// its span timeline (quiesce wait, state move, rebind, restore wait,
 	// commit or rollback) for reconfigctl trace <txid>.
 	tracer *telemetry.Tracer
+
+	// active mirrors txMu for lock-free observation: true while a
+	// transactional script holds the lock. The readiness probe (/readyz)
+	// reads it to report "reconfiguring" without contending for txMu.
+	active atomic.Bool
 }
 
-// NewPrimitives wraps a bus.
+// NewPrimitives wraps a bus. Transaction span durations aggregate into the
+// bus's telemetry registry (reconfig.span.*_ns, reconfig.tx_total_ns).
 func NewPrimitives(b *bus.Bus) *Primitives {
-	return &Primitives{bus: b, tracer: telemetry.NewTracer(0)}
+	p := &Primitives{bus: b, tracer: telemetry.NewTracer(0)}
+	p.tracer.SetRegistry(b.Telemetry())
+	return p
 }
+
+// ReconfigActive reports whether a transactional reconfiguration is in
+// flight right now.
+func (p *Primitives) ReconfigActive() bool { return p.active.Load() }
 
 // Bus returns the underlying bus.
 func (p *Primitives) Bus() *bus.Bus { return p.bus }

@@ -255,6 +255,8 @@ func ReplaceTx(p *Primitives, launcher Launcher, old string, opts ReplaceOptions
 		return fail(fmt.Errorf("reconfig: replace %s: %w", old, ErrReconfigBusy))
 	}
 	defer p.txMu.Unlock()
+	p.active.Store(true)
+	defer p.active.Store(false)
 
 	// Open the span timeline for this transaction. With no tracer attached
 	// every tx call below is a no-op and TxID stays empty.
@@ -312,6 +314,23 @@ func ReplaceTx(p *Primitives, launcher Launcher, old string, opts ReplaceOptions
 		return abort(err)
 	}
 	j.record("release_old", func() error { return releaseOld(p, launcher, old, st, t) })
+	// Snapshot what the quiesce is waiting on: the messages still queued
+	// toward the old module, with their trace IDs and in-flight ages, so
+	// `trace <txid>` can explain a long quiesce_wait span.
+	if qm, err := p.bus.QueuedMessages(old); err == nil {
+		const maxNotes = 16
+		for i, m := range qm {
+			if i == maxNotes {
+				tx.Annotate(fmt.Sprintf("... and %d more queued messages", len(qm)-maxNotes))
+				break
+			}
+			if m.Trace.Valid() {
+				tx.Annotate(fmt.Sprintf("queued %s trace=0x%x age=%.3fms", m.Endpoint, m.Trace.TraceID, float64(m.AgeNs)/1e6))
+			} else {
+				tx.Annotate(fmt.Sprintf("queued %s (untraced)", m.Endpoint))
+			}
+		}
+	}
 	data, err := p.AwaitDivulged(old, t.StateMove)
 	if err != nil {
 		return abort(err)

@@ -1,0 +1,118 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): one `# TYPE` line per metric, counters and gauges
+// as single samples, histograms as cumulative `_bucket{le="..."}` series
+// plus `_sum` and `_count`. Dotted metric names are sanitized to the
+// Prometheus charset (dots and other invalid runes become underscores).
+//
+// The power-of-two buckets expose exactly: bucket index i holds integer
+// nanosecond values 2^(i-1) <= v < 2^i (index 0 holds v <= 0), so the
+// inclusive upper bound of bucket i is 2^i - 1 and the rendered le labels
+// are 0, 1, 3, 7, 15, ... — cumulative counts are exact, not approximated.
+func WritePrometheus(w io.Writer, r *Registry) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	gaugeFns := make(map[string]func() int64, len(r.gaugeFns))
+	for k, v := range r.gaugeFns {
+		gaugeFns[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.Unlock()
+
+	// Evaluate computed gauges outside the registry lock (they may take the
+	// bus's queue locks), then merge with stored gauges for one sorted pass.
+	gvals := make(map[string]int64, len(gauges)+len(gaugeFns))
+	for k, g := range gauges {
+		gvals[k] = g.Load()
+	}
+	for k, fn := range gaugeFns {
+		gvals[k] = fn()
+	}
+
+	for _, name := range sortedKeys(counters) {
+		pn := promName(name)
+		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pn, pn, counters[name].Load())
+	}
+	gnames := make([]string, 0, len(gvals))
+	for k := range gvals {
+		gnames = append(gnames, k)
+	}
+	sort.Strings(gnames)
+	for _, name := range gnames {
+		pn := promName(name)
+		fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", pn, pn, gvals[name])
+	}
+	for _, name := range sortedKeys(hists) {
+		writePromHistogram(w, promName(name), hists[name])
+	}
+}
+
+func writePromHistogram(w io.Writer, pn string, h *Histogram) {
+	fmt.Fprintf(w, "# TYPE %s histogram\n", pn)
+	last := 0
+	for i := 0; i < numBuckets; i++ {
+		if h.counts[i].Load() != 0 {
+			last = i
+		}
+	}
+	var cum int64
+	for i := 0; i <= last; i++ {
+		cum += h.counts[i].Load()
+		le := (uint64(1) << uint(i)) - 1 // inclusive upper bound; 0 for bucket 0
+		fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", pn, le, cum)
+	}
+	total := h.count.Load()
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", pn, total)
+	fmt.Fprintf(w, "%s_sum %d\n", pn, h.sum.Load())
+	fmt.Fprintf(w, "%s_count %d\n", pn, total)
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// promName maps a dotted registry name onto the Prometheus metric-name
+// charset [a-zA-Z0-9_:] (leading digits get an underscore prefix).
+func promName(name string) string {
+	out := make([]byte, 0, len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			out = append(out, c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				out = append(out, '_')
+			}
+			out = append(out, c)
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}

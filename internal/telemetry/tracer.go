@@ -8,10 +8,13 @@ import (
 
 // Span is one timed phase of a reconfiguration transaction (quiesce wait,
 // divulge wait, state move, rebind, restore ack, commit or rollback).
+// Notes carry span-scoped annotations — e.g. the trace IDs and ages of the
+// messages a quiesce wait found queued toward its target.
 type Span struct {
 	Name  string
 	Start time.Time
 	End   time.Time
+	Notes []string
 }
 
 // Duration returns the span's length (0 while it is still open).
@@ -56,10 +59,13 @@ func (t *Trace) Timeline() []string {
 		off := float64(s.Start.Sub(t.Begin).Microseconds()) / 1000.0
 		if s.End.IsZero() {
 			lines = append(lines, fmt.Sprintf("  +%9.3fms  %-14s (open)", off, s.Name))
-			continue
+		} else {
+			dur := float64(s.Duration().Microseconds()) / 1000.0
+			lines = append(lines, fmt.Sprintf("  +%9.3fms  %-14s %9.3fms", off, s.Name, dur))
 		}
-		dur := float64(s.Duration().Microseconds()) / 1000.0
-		lines = append(lines, fmt.Sprintf("  +%9.3fms  %-14s %9.3fms", off, s.Name, dur))
+		for _, note := range s.Notes {
+			lines = append(lines, "      - "+note)
+		}
 	}
 	if len(t.Steps) > 0 {
 		lines = append(lines, "  steps:")
@@ -81,6 +87,7 @@ type Tracer struct {
 	order  []string // oldest first
 	traces map[string]*Trace
 	clock  func() time.Time
+	reg    *Registry // span-duration histograms (nil = no aggregation)
 }
 
 // NewTracer returns a tracer retaining the max most recent traces
@@ -90,6 +97,20 @@ func NewTracer(max int) *Tracer {
 		max = 64
 	}
 	return &Tracer{max: max, traces: map[string]*Trace{}, clock: time.Now}
+}
+
+// SetRegistry attaches a metrics registry: each Finish then observes every
+// closed span's duration into the "reconfig.span.<name>_ns" histogram and
+// the whole transaction into "reconfig.tx_total_ns", so the latency
+// distribution of reconfigurations is available as aggregate buckets (the
+// /metrics endpoint) alongside the per-transaction timelines.
+func (t *Tracer) SetRegistry(reg *Registry) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.reg = reg
 }
 
 // SetClock overrides the tracer's time source (tests pin it for
@@ -135,6 +156,9 @@ func (t *Tracer) Get(id string) (*Trace, bool) {
 	}
 	cp := *tr
 	cp.Spans = append([]Span(nil), tr.Spans...)
+	for i := range cp.Spans {
+		cp.Spans[i].Notes = append([]string(nil), cp.Spans[i].Notes...)
+	}
 	cp.Steps = append([]string(nil), tr.Steps...)
 	return &cp, true
 }
@@ -198,6 +222,22 @@ func (b *TxTrace) endOpenLocked(now time.Time) {
 	b.open = false
 }
 
+// Annotate appends a note to the currently open span (a no-op between
+// spans, with tracing disabled, or on nil). The quiesce wait uses it to
+// record which queued messages — trace IDs and ages — it is waiting on.
+func (b *TxTrace) Annotate(note string) {
+	if b == nil {
+		return
+	}
+	b.tracer.mu.Lock()
+	defer b.tracer.mu.Unlock()
+	if !b.open {
+		return
+	}
+	s := &b.trace.Spans[len(b.trace.Spans)-1]
+	s.Notes = append(s.Notes, note)
+}
+
 // Finish closes the trace with its outcome ("committed" or "rolled-back")
 // and attaches the correlated primitive step trace.
 func (b *TxTrace) Finish(outcome string, steps []string) {
@@ -211,4 +251,12 @@ func (b *TxTrace) Finish(outcome string, steps []string) {
 	b.trace.End = now
 	b.trace.Outcome = outcome
 	b.trace.Steps = append([]string(nil), steps...)
+	if reg := b.tracer.reg; reg != nil {
+		for _, s := range b.trace.Spans {
+			if !s.End.IsZero() {
+				reg.Histogram("reconfig.span." + s.Name + "_ns").Observe(s.Duration())
+			}
+		}
+		reg.Histogram("reconfig.tx_total_ns").Observe(now.Sub(b.trace.Begin))
+	}
 }

@@ -1,0 +1,132 @@
+package reconf
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"repro/internal/telemetry"
+	"repro/internal/telemetry/trace"
+)
+
+// This file is the HTTP observability surface of an App — the pull
+// counterpart of the reconfigctl push protocol (control.go). Four endpoints:
+//
+//	/metrics     the full telemetry registry plus the bus activity counters,
+//	             in the Prometheus text exposition format
+//	/healthz     liveness/readiness: 200 "ok", or 503 "reconfiguring" while
+//	/readyz      a transactional reconfiguration is in flight (in this
+//	             single-process reproduction the two collapse to one signal)
+//	/traces      the flight recorder's retained delivery spans, as JSON
+//	/trace/{id}  one causal chain ("tx-0001" renders a transaction's span
+//	             timeline; a numeric ID returns that message trace's spans)
+type ObsServer struct {
+	srv *http.Server
+	l   net.Listener
+}
+
+// ServeObs starts serving the observability endpoints on l. Close the
+// returned server to stop.
+func (a *App) ServeObs(l net.Listener) *ObsServer {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", a.handleMetrics)
+	mux.HandleFunc("/healthz", a.handleHealth)
+	mux.HandleFunc("/readyz", a.handleHealth)
+	mux.HandleFunc("/traces", a.handleTraces)
+	mux.HandleFunc("/trace/", a.handleTrace)
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(l) }()
+	return &ObsServer{srv: srv, l: l}
+}
+
+// Addr returns the listener address.
+func (o *ObsServer) Addr() net.Addr { return o.l.Addr() }
+
+// Close stops the server and closes the listener.
+func (o *ObsServer) Close() error { return o.srv.Close() }
+
+func (a *App) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	st := a.bus.Stats()
+	for _, c := range []struct {
+		name string
+		v    int64
+	}{
+		{"bus_delivered_total", st.Delivered},
+		{"bus_dropped_total", st.Dropped},
+		{"bus_rebinds_total", st.Rebinds},
+		{"bus_signals_total", st.Signals},
+		{"bus_moves_total", st.Moves},
+	} {
+		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", c.name, c.name, c.v)
+	}
+	fmt.Fprintf(w, "# TYPE bus_snapshot_version gauge\nbus_snapshot_version %d\n", st.SnapshotVersion)
+	if rec := a.FlightRecorder(); rec != nil {
+		fmt.Fprintf(w, "# TYPE trace_recorder_spans gauge\ntrace_recorder_spans %d\n", rec.Len())
+		fmt.Fprintf(w, "# TYPE trace_recorder_recorded_total counter\ntrace_recorder_recorded_total %d\n", rec.Recorded())
+		fmt.Fprintf(w, "# TYPE trace_recorder_memory_bound_bytes gauge\ntrace_recorder_memory_bound_bytes %d\n", rec.MemoryBound())
+	}
+	telemetry.WritePrometheus(w, a.Telemetry())
+}
+
+func (a *App) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	if a.prims.ReconfigActive() {
+		http.Error(w, "reconfiguring", http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+func (a *App) handleTraces(w http.ResponseWriter, _ *http.Request) {
+	spans := a.FlightRecorder().Snapshot()
+	if spans == nil {
+		spans = []*trace.SpanRecord{}
+	}
+	writeJSON(w, spans)
+}
+
+func (a *App) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := strings.TrimPrefix(r.URL.Path, "/trace/")
+	if strings.HasPrefix(id, "tx-") {
+		lines, err := a.TraceTx(id)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		writeJSON(w, map[string]any{"id": id, "timeline": lines})
+		return
+	}
+	// Quiesce annotations render message trace IDs as 0x-prefixed hex so
+	// they can't be misread as the decimal form the JSON spans use; accept
+	// both, plus bare hex as a convenience for IDs with letters in them.
+	var n uint64
+	var err error
+	if rest, isHex := strings.CutPrefix(id, "0x"); isHex {
+		n, err = strconv.ParseUint(rest, 16, 64)
+	} else {
+		n, err = strconv.ParseUint(id, 10, 64)
+		if err != nil {
+			n, err = strconv.ParseUint(id, 16, 64)
+		}
+	}
+	if err != nil {
+		http.Error(w, "bad trace id: "+id, http.StatusBadRequest)
+		return
+	}
+	spans := a.FlightRecorder().ByTrace(n)
+	if len(spans) == 0 {
+		http.Error(w, fmt.Sprintf("no retained spans for trace %d", n), http.StatusNotFound)
+		return
+	}
+	writeJSON(w, map[string]any{"trace_id": n, "spans": spans})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

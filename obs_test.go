@@ -1,0 +1,197 @@
+package reconf
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/fixtures"
+	"repro/internal/mh"
+	"repro/internal/reconfig"
+	"repro/internal/telemetry/trace"
+)
+
+// serveObs starts an App's observability endpoint on an ephemeral port and
+// returns its base URL.
+func serveObs(t *testing.T, app *App) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := app.ServeObs(l)
+	t.Cleanup(func() { srv.Close() })
+	return "http://" + srv.Addr().String()
+}
+
+func httpGet(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// TestObsMetricsEndpoint drives traffic through a committed replacement and
+// asserts /metrics serves Prometheus text including the bus counters and the
+// reconfiguration latency histogram buckets (acceptance criterion).
+func TestObsMetricsEndpoint(t *testing.T) {
+	app, d, feed := startInterrupted(t)
+	base := serveObs(t, app)
+	feed()
+	res, err := app.ReplaceTx("compute", reconfig.ReplaceOptions{NewName: "compute2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Committed {
+		t.Fatalf("replace did not commit: %+v", res)
+	}
+	finishComputation(t, d)
+
+	code, body := httpGet(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics returned %d", code)
+	}
+	for _, want := range []string{
+		"# TYPE bus_delivered_total counter",
+		"bus_rebinds_total 1",
+		"# TYPE bus_iface_display_temper_delivered counter",
+		"# TYPE reconfig_span_quiesce_wait_ns histogram",
+		`reconfig_span_quiesce_wait_ns_bucket{le="+Inf"} 1`,
+		"reconfig_tx_total_ns_count 1",
+		"_bucket{le=\"0\"}",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestObsHealthFlipsDuringQuiesce pins the readiness contract: /healthz and
+// /readyz report 503 "reconfiguring" while a Replace transaction is waiting
+// out its quiesce, and recover once it commits.
+func TestObsHealthFlipsDuringQuiesce(t *testing.T) {
+	app, d, _ := startInterrupted(t)
+	base := serveObs(t, app)
+
+	if code, body := httpGet(t, base+"/healthz"); code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Fatalf("/healthz before replace = %d %q, want 200 ok", code, body)
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := app.ReplaceTx("compute", reconfig.ReplaceOptions{NewName: "compute2"})
+		done <- err
+	}()
+
+	// The transaction is stuck in quiesce_wait until a temperature releases
+	// the module; both health endpoints must report unready meanwhile.
+	flipped := false
+	for i := 0; i < 100; i++ {
+		if code, _ := httpGet(t, base+"/readyz"); code == http.StatusServiceUnavailable {
+			flipped = true
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !flipped {
+		t.Error("/readyz never flipped to 503 during the in-flight replace")
+	}
+	if code, body := httpGet(t, base+"/healthz"); code != http.StatusServiceUnavailable || !strings.Contains(body, "reconfiguring") {
+		t.Errorf("/healthz during quiesce = %d %q, want 503 reconfiguring", code, body)
+	}
+
+	d.temperature(60)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if code, _ := httpGet(t, base+"/healthz"); code != http.StatusOK {
+		t.Errorf("/healthz after commit = %d, want 200", code)
+	}
+	finishComputation(t, d)
+}
+
+// loadMonitorSampled is loadMonitor with full head sampling, so every
+// delivery lands in the flight recorder.
+func loadMonitorSampled(t *testing.T) *App {
+	t.Helper()
+	app, err := Load(Config{
+		SpecText: fixtures.MonitorSpec,
+		Sources: map[string]ModuleSource{
+			"compute": {Files: map[string]string{"compute.go": fixtures.ComputeSource}},
+		},
+		Native: map[string]NativeModule{
+			"display": func(rt *mh.Runtime) {},
+			"sensor":  func(rt *mh.Runtime) {},
+		},
+		SleepUnit:    time.Microsecond,
+		StateTimeout: 10 * time.Second,
+		TraceSample:  1,
+		TraceBuffer:  256,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return app
+}
+
+// TestObsTracesEndpoints exercises /traces and /trace/{id} against a sampled
+// application: a request/response roundtrip leaves delivery spans in the
+// flight recorder, retrievable whole-buffer and per-trace.
+func TestObsTracesEndpoints(t *testing.T) {
+	app := loadMonitorSampled(t)
+	t.Cleanup(app.Stop)
+	d := newDriver(t, app)
+	if err := app.Launch("compute"); err != nil {
+		t.Fatal(err)
+	}
+	base := serveObs(t, app)
+
+	d.request(1)
+	d.temperature(50)
+	if got := d.response(); got != 50 {
+		t.Fatalf("response = %g, want 50", got)
+	}
+
+	code, body := httpGet(t, base+"/traces")
+	if code != http.StatusOK {
+		t.Fatalf("/traces returned %d", code)
+	}
+	var spans []trace.SpanRecord
+	if err := json.Unmarshal([]byte(body), &spans); err != nil {
+		t.Fatalf("/traces is not a span array: %v\n%s", err, body)
+	}
+	if len(spans) == 0 {
+		t.Fatal("/traces is empty after a sampled roundtrip")
+	}
+
+	code, body = httpGet(t, fmt.Sprintf("%s/trace/%d", base, spans[0].TraceID))
+	if code != http.StatusOK {
+		t.Fatalf("/trace/%d returned %d: %s", spans[0].TraceID, code, body)
+	}
+	if !strings.Contains(body, fmt.Sprintf(`"trace_id": %d`, spans[0].TraceID)) {
+		t.Errorf("/trace/{id} response lacks the trace id:\n%s", body)
+	}
+
+	// The 0x-prefixed hex form (as printed in quiesce annotations) resolves
+	// the same trace.
+	code, _ = httpGet(t, fmt.Sprintf("%s/trace/0x%x", base, spans[0].TraceID))
+	if code != http.StatusOK {
+		t.Errorf("/trace/{hex id} returned %d", code)
+	}
+
+	if code, _ := httpGet(t, base+"/trace/tx-9999"); code != http.StatusNotFound {
+		t.Errorf("/trace/tx-9999 returned %d, want 404", code)
+	}
+}

@@ -44,6 +44,7 @@ import (
 	"repro/internal/mil"
 	"repro/internal/reconfig"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/trace"
 	"repro/internal/transform"
 )
 
@@ -86,6 +87,14 @@ type Config struct {
 	// Zero fields take reconfig.DefaultTimeouts (30s each); individual
 	// scripts can still override per call via ReplaceOptions.
 	Timeouts reconfig.Timeouts
+	// TraceSample enables causal-trace recording: every TraceSample-th
+	// trace minted by the bus is sampled into the flight recorder (1 = all).
+	// 0 (the default) keeps stamping on but records nothing — the zero-
+	// allocation steady state.
+	TraceSample int
+	// TraceBuffer is the flight recorder's capacity in spans (default 4096;
+	// meaningful only with TraceSample > 0).
+	TraceBuffer int
 }
 
 // Mode aliases, so callers need not import internal packages.
@@ -155,10 +164,14 @@ func Load(cfg Config) (*App, error) {
 		return nil, fmt.Errorf("reconf: no application %q in specification", cfg.Application)
 	}
 
+	msgTracer := trace.NewTracer(0, nil)
+	if cfg.TraceSample > 0 {
+		msgTracer = trace.NewTracer(cfg.TraceSample, trace.NewRecorder(cfg.TraceBuffer))
+	}
 	a := &App{
 		Spec:        spec,
 		Application: appSpec,
-		bus:         bus.New(),
+		bus:         bus.New(bus.WithMsgTracer(msgTracer)),
 		cfg:         cfg,
 		modules:     map[string]*PreparedModule{},
 		instances:   map[string]*runningInstance{},
@@ -310,6 +323,13 @@ func (a *App) Telemetry() *telemetry.Registry { return a.bus.Telemetry() }
 
 // Primitives exposes the reconfiguration primitive layer (and its trace).
 func (a *App) Primitives() *reconfig.Primitives { return a.prims }
+
+// MsgTracer exposes the bus's causal message tracer.
+func (a *App) MsgTracer() *trace.Tracer { return a.bus.MsgTracer() }
+
+// FlightRecorder exposes the causal-trace flight recorder (nil unless the
+// application was loaded with Config.TraceSample > 0).
+func (a *App) FlightRecorder() *trace.Recorder { return a.bus.MsgTracer().Recorder() }
 
 // Launch implements reconfig.Launcher: it starts the runtime of a
 // registered instance.
@@ -519,6 +539,7 @@ func (a *App) Stop() {
 		case <-time.After(5 * time.Second):
 		}
 	}
+	a.bus.Close()
 }
 
 // Topology renders the current instances and bindings, the Figure 1 view.

@@ -39,4 +39,9 @@ RECONFIG_BUS_THROUGHPUT_JSON="$PWD/BENCH_bus_throughput.json" \
 	go test -run TestBusThroughputArtifact -count=1 .
 cat BENCH_bus_throughput.json
 
+echo "== trace overhead artifact (message path: tracing off / unsampled / sampled)"
+RECONFIG_TRACE_OVERHEAD_JSON="$PWD/BENCH_trace_overhead.json" \
+	go test -run TestTraceOverheadArtifact -count=1 .
+cat BENCH_trace_overhead.json
+
 echo "ok"

@@ -1,0 +1,106 @@
+package reconf
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/reconfig"
+)
+
+// TestQuiesceAnnotatedWithQueuedTraces is the acceptance criterion for
+// quiesce correlation: a committed replacement whose quiesce found messages
+// queued toward the old module shows their trace IDs and ages on the
+// quiesce_wait span of `reconfigctl trace <txid>`.
+func TestQuiesceAnnotatedWithQueuedTraces(t *testing.T) {
+	app, d, feed := startInterrupted(t)
+
+	// A second display request queues at the busy module — the replacement's
+	// quiesce will be waiting behind it.
+	d.request(1)
+
+	feed()
+	res, err := app.ReplaceTx("compute", reconfig.ReplaceOptions{NewName: "compute2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Committed || res.TxID == "" {
+		t.Fatalf("replace result = %+v", res)
+	}
+	lines, err := app.TraceTx(res.TxID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	timeline := strings.Join(lines, "\n")
+	if !strings.Contains(timeline, "quiesce_wait") {
+		t.Fatalf("timeline has no quiesce_wait span:\n%s", timeline)
+	}
+	if !strings.Contains(timeline, "queued compute.display trace=") {
+		t.Errorf("quiesce_wait not annotated with the queued message's trace:\n%s", timeline)
+	}
+	if !strings.Contains(timeline, "age=") {
+		t.Errorf("queued-message annotation carries no age:\n%s", timeline)
+	}
+	finishComputation(t, d)
+}
+
+// TestQueueDepthGaugesConsistentAfterRollback pins gauge consistency across
+// cq/rmq transfers and rebind rollback: after a fault-injected rollback
+// (fault fires after the queues moved to the clone, so the compensation
+// moves them back), every queue_depth gauge equals the actual queue length
+// and no gauge survives for the deleted clone.
+func TestQueueDepthGaugesConsistentAfterRollback(t *testing.T) {
+	app, d, feed := startInterrupted(t)
+	pre := snapshotConfig(t, app)
+
+	faults := faultinject.New()
+	faults.Enable("bus.awaitrestored", faultinject.Point{Action: faultinject.Error, Count: 1})
+	app.Bus().SetFaults(faults)
+
+	feed()
+	res, err := app.ReplaceTx("compute", reconfig.ReplaceOptions{NewName: "compute2"})
+	if err == nil || res == nil || !res.RolledBack {
+		t.Fatalf("replace = %+v, %v; want rollback", res, err)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for !reflect.DeepEqual(snapshotConfig(t, app), pre) {
+		if time.Now().After(deadline) {
+			t.Fatal("configuration did not converge after rollback")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	gauges := app.Telemetry().Snapshot().Gauges
+	checked := 0
+	for _, name := range app.Bus().Instances() {
+		info, err := app.Bus().Info(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for iface, depth := range info.Pending {
+			key := fmt.Sprintf("bus.iface.%s.%s.queue_depth", name, iface)
+			got, ok := gauges[key]
+			if !ok {
+				t.Errorf("no gauge %s", key)
+				continue
+			}
+			if got != int64(depth) {
+				t.Errorf("%s = %d, actual queue length %d", key, got, depth)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Error("no queue_depth gauges found")
+	}
+	for key := range gauges {
+		if strings.HasPrefix(key, "bus.iface.compute2.") {
+			t.Errorf("gauge %s survived the clone's rollback deletion", key)
+		}
+	}
+	finishComputation(t, d)
+}

@@ -1,0 +1,84 @@
+package reconf
+
+// TestTraceOverheadArtifact quantifies the cost of causal tracing on the
+// message hot path and writes BENCH_trace_overhead.json (scripts/check.sh
+// sets RECONFIG_TRACE_OVERHEAD_JSON; a plain `go test` run skips it):
+//
+//   - message_roundtrip: one bus write+read with tracing disabled
+//     (WithMsgTracer(nil)), enabled but unsampled (the default — contexts
+//     minted and propagated, nothing recorded), and fully sampled (every
+//     delivery lands in the flight recorder). The allocation delta between
+//     off and unsampled must be zero: stamping a context is arithmetic and
+//     a clock read, mirroring the paper's "a test of a flag" discipline.
+//   - flight_recorder: the fixed memory bound of the ring buffer, which is
+//     what makes always-on sampling safe to leave enabled.
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	"repro/internal/bus"
+	"repro/internal/telemetry/trace"
+)
+
+func TestTraceOverheadArtifact(t *testing.T) {
+	out := os.Getenv("RECONFIG_TRACE_OVERHEAD_JSON")
+	if out == "" {
+		t.Skip("set RECONFIG_TRACE_OVERHEAD_JSON=<path> to emit the trace overhead artifact")
+	}
+
+	payload := make([]byte, 64)
+	roundtrip := func(src, dst bus.Port) func() {
+		return func() {
+			if err := src.Write("out", payload); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := dst.Read("in"); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	offSrc, offDst := overheadBusPair(t, bus.WithMsgTracer(nil))
+	unsampledSrc, unsampledDst := overheadBusPair(t) // default: mint, never record
+	rec := trace.NewRecorder(4096)
+	sampledSrc, sampledDst := overheadBusPair(t, bus.WithMsgTracer(trace.NewTracer(1, rec)))
+
+	offNs := benchNs(roundtrip(offSrc, offDst))
+	unsampledNs := benchNs(roundtrip(unsampledSrc, unsampledDst))
+	sampledNs := benchNs(roundtrip(sampledSrc, sampledDst))
+
+	offAllocs := testing.AllocsPerRun(2000, roundtrip(offSrc, offDst))
+	unsampledAllocs := testing.AllocsPerRun(2000, roundtrip(unsampledSrc, unsampledDst))
+	allocDelta := unsampledAllocs - offAllocs
+	if allocDelta > 0 {
+		t.Errorf("unsampled tracing adds %v allocs per message (off=%v unsampled=%v)",
+			allocDelta, offAllocs, unsampledAllocs)
+	}
+
+	report := map[string]any{
+		"benchmark": "trace_overhead",
+		"message_roundtrip": map[string]float64{
+			"tracing_off_ns_op":        offNs,
+			"tracing_unsampled_ns_op":  unsampledNs,
+			"tracing_sampled_ns_op":    sampledNs,
+			"unsampled_overhead_ns_op": unsampledNs - offNs,
+			"sampled_overhead_ns_op":   sampledNs - offNs,
+			"trace_allocs_per_msg":     allocDelta,
+		},
+		"flight_recorder": map[string]int64{
+			"capacity_spans":     int64(rec.Cap()),
+			"recorded_spans":     rec.Recorded(),
+			"memory_bound_bytes": int64(rec.MemoryBound()),
+		},
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", out)
+}

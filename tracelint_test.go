@@ -1,0 +1,52 @@
+package reconf
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestTraceStampingStaysInBusLayer pins the division of labour the trace
+// subsystem copies from the paper's transformation: the bus/transport layer
+// does the causal bookkeeping, everything above carries contexts opaquely.
+// Only internal/bus and the trace package itself may mint or extend trace
+// contexts; if this fails, a higher layer started inventing trace IDs and
+// causal chains can no longer be trusted.
+func TestTraceStampingStaysInBusLayer(t *testing.T) {
+	mint := regexp.MustCompile(`\.(MintTrace|ChildSpan|Stamp)\(`)
+	allowed := func(path string) bool {
+		return strings.HasPrefix(path, "internal/bus/") ||
+			strings.HasPrefix(path, "internal/telemetry/trace/")
+	}
+	err := filepath.WalkDir(".", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if d.Name() == ".git" || d.Name() == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") || allowed(path) {
+			return nil
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for i, line := range strings.Split(string(src), "\n") {
+			if mint.MatchString(line) {
+				t.Errorf("%s:%d: mints a trace context outside the bus layer: %s",
+					path, i+1, strings.TrimSpace(line))
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
