@@ -3,6 +3,13 @@
 test:
 	go build ./... && go test ./...
 
+# Architectural invariants: the self-hosting archlint run (AL001-AL011:
+# trace confinement, locking discipline, snapshot protocol, hot-path
+# allocations, journaled mutations, spawn sites, layering).
+.PHONY: lint
+lint:
+	go run ./cmd/archlint ./...
+
 # Tier-2: static vetting + race-detector runs of the concurrency-heavy
 # packages. Run before touching bus/quiesce or shipping a PR.
 .PHONY: check

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunCleanTree(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-C", "../..", "./..."}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d on the repository, want 0; stderr: %s\nstdout: %s", code, errOut.String(), out.String())
+	}
+	if got := out.String(); got != "ok: no diagnostics\n" {
+		t.Errorf("stdout = %q", got)
+	}
+}
+
+func TestRunDirtyTree(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-C", "../../internal/archlint/testdata/AL009/bad"}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit %d on a dirty fixture, want 1; stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "AL009") {
+		t.Errorf("stdout missing AL009 diagnostic:\n%s", out.String())
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-json", "-C", "../../internal/archlint/testdata/AL009/bad"}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	got := out.String()
+	if !strings.HasPrefix(got, "{") || !strings.Contains(got, `"code": "AL009"`) {
+		t.Errorf("not the expected JSON report:\n%s", got)
+	}
+}
+
+func TestRunUsageError(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-bogus"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit %d on a bad flag, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "usage: archlint") {
+		t.Errorf("stderr missing usage: %s", errOut.String())
+	}
+}
+
+func TestRunNoModule(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-C", "/"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit %d outside a module, want 2; stderr: %s", code, errOut.String())
+	}
+}

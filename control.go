@@ -120,7 +120,7 @@ type ControlServer struct {
 // ServeControl starts a control server on l.
 func (a *App) ServeControl(l net.Listener) *ControlServer {
 	s := &ControlServer{app: a, l: l, conns: map[net.Conn]struct{}{}}
-	go s.acceptLoop()
+	go s.acceptLoop() //archlint:spawn accept loop; exits when the listener closes
 	return s
 }
 
@@ -150,7 +150,7 @@ func (s *ControlServer) acceptLoop() {
 		s.mu.Lock()
 		s.conns[conn] = struct{}{}
 		s.mu.Unlock()
-		go s.serve(conn)
+		go s.serve(conn) //archlint:spawn per-connection handler; exits on conn close, tracked in s.conns
 	}
 }
 

@@ -96,11 +96,11 @@ func specDiagnostics(r *Report, spec *mil.Spec, specFile string) {
 	var list mil.ErrorList
 	if errors.As(err, &list) {
 		for _, pe := range list {
-			r.add(CodeSpecInvalid, SevError, milPos(specFile, pe.Pos), "%s", pe.Msg)
+			r.Add(CodeSpecInvalid, SevError, milPos(specFile, pe.Pos), "%s", pe.Msg)
 		}
 		return
 	}
-	r.add(CodeSpecInvalid, SevError, token.Position{Filename: specFile}, "%s", err.Error())
+	r.Add(CodeSpecInvalid, SevError, token.Position{Filename: specFile}, "%s", err.Error())
 }
 
 // checkedProgram parses and checks the module sources, reporting failures
@@ -108,7 +108,7 @@ func specDiagnostics(r *Report, spec *mil.Spec, specFile string) {
 func checkedProgram(r *Report, sources map[string]string, specFile string) (*lang.Program, *lang.Info, bool) {
 	prog, err := lang.ParseFiles(sources)
 	if err != nil {
-		r.add(CodeSourceInvalid, SevError, token.Position{}, "%s", err.Error())
+		r.Add(CodeSourceInvalid, SevError, token.Position{}, "%s", err.Error())
 		return nil, nil, false
 	}
 	info, err := lang.Check(prog)
@@ -116,10 +116,10 @@ func checkedProgram(r *Report, sources map[string]string, specFile string) (*lan
 		var list lang.ErrorList
 		if errors.As(err, &list) {
 			for _, e := range list {
-				r.add(CodeSourceInvalid, SevError, e.Pos, "%s", e.Msg)
+				r.Add(CodeSourceInvalid, SevError, e.Pos, "%s", e.Msg)
 			}
 		} else {
-			r.add(CodeSourceInvalid, SevError, token.Position{}, "%s", err.Error())
+			r.Add(CodeSourceInvalid, SevError, token.Position{}, "%s", err.Error())
 		}
 		return nil, nil, false
 	}

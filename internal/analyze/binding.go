@@ -99,7 +99,7 @@ func compareSignature(r *Report, specFile string, b *mil.Bind, sender, receiver 
 		return
 	}
 	if len(out) != len(in) {
-		r.add(CodeBindingMismatch, SevError, milPos(specFile, b.Pos),
+		r.Add(CodeBindingMismatch, SevError, milPos(specFile, b.Pos),
 			"binding %q -> %q: %s sends %d value(s) but %s expects %d",
 			b.From, b.To, sender.Name, len(out), receiver.Name, len(in))
 		return
@@ -111,7 +111,7 @@ func compareSignature(r *Report, specFile string, b *mil.Bind, sender, receiver 
 			continue
 		}
 		if sk != rk {
-			r.add(CodeBindingMismatch, SevError, milPos(specFile, b.Pos),
+			r.Add(CodeBindingMismatch, SevError, milPos(specFile, b.Pos),
 				"binding %q -> %q: message position %d is %s on %s but %s on %s",
 				b.From, b.To, i+1, out[i].Name, sender.Name, in[i].Name, receiver.Name)
 		}
@@ -129,7 +129,7 @@ func typeKind(r *Report, specFile string, ifc *mil.Interface, ref mil.TypeRef) (
 			return state.KindInvalid, false
 		}
 	}
-	r.add(CodeUnknownMILType, SevWarning, milPos(specFile, ifc.Pos),
+	r.Add(CodeUnknownMILType, SevWarning, milPos(specFile, ifc.Pos),
 		"interface %s names message type %q, which maps to no abstract-state kind; its bindings are not type-checked",
 		ifc.Name, ref.Name)
 	return state.KindInvalid, false

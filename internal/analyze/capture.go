@@ -29,7 +29,7 @@ func checkCapture(r *Report, cfg Config, mod *mil.Module, prog *lang.Program, in
 		spt := &mod.ReconfigPoints[i]
 		src, ok := srcPoints[spt.Label]
 		if !ok {
-			r.add(CodePointNoMarker, SevError, milPos(cfg.SpecFile, spt.Pos),
+			r.Add(CodePointNoMarker, SevError, milPos(cfg.SpecFile, spt.Pos),
 				"specification point %s has no mh.ReconfigPoint(%q) marker in the source of module %s",
 				spt.Label, spt.Label, mod.Name)
 			continue
@@ -40,7 +40,7 @@ func checkCapture(r *Report, cfg Config, mod *mil.Module, prog *lang.Program, in
 		}
 		for _, v := range spt.Vars {
 			if !names[v] {
-				r.add(CodeUnknownStateVar, SevError, milPos(cfg.SpecFile, spt.Pos),
+				r.Add(CodeUnknownStateVar, SevError, milPos(cfg.SpecFile, spt.Pos),
 					"state list for point %s names %s, which is not a parameter or local of %s",
 					spt.Label, v, src.Func)
 			}
@@ -49,7 +49,7 @@ func checkCapture(r *Report, cfg Config, mod *mil.Module, prog *lang.Program, in
 
 	for _, pt := range info.Points {
 		if mod.Point(pt.Label) == nil {
-			r.add(CodeMarkerNotInSpec, SevWarning, prog.Fset.Position(pt.Call.Pos()),
+			r.Add(CodeMarkerNotInSpec, SevWarning, prog.Fset.Position(pt.Call.Pos()),
 				"source reconfiguration point %s is not declared in the specification of module %s",
 				pt.Label, mod.Name)
 		}
@@ -175,7 +175,7 @@ func checkCaptureSoundness(r *Report, cfg Config, mod *mil.Module) {
 
 		for _, v := range sortedKeys(required) {
 			if !declared[v] {
-				r.add(CodeCaptureMissing, SevError, anchor,
+				r.Add(CodeCaptureMissing, SevError, anchor,
 					"procedure %s: variable %s is live at a reconfiguration edge but missing from the declared capture set {%s}; restoring from it would lose state",
 					name, v, joinVars(order))
 			}
@@ -187,7 +187,7 @@ func checkCaptureSoundness(r *Report, cfg Config, mod *mil.Module) {
 		}
 		for _, v := range order {
 			if procVars[v] && !useful[v] {
-				r.add(CodeCaptureDead, SevWarning, anchor,
+				r.Add(CodeCaptureDead, SevWarning, anchor,
 					"procedure %s: captured variable %s is dead at every reconfiguration edge; capturing it only grows the abstract state",
 					name, v)
 			}

@@ -12,41 +12,23 @@
 // old/new abstract-state mapping compatibility.
 //
 // Every finding is a Diagnostic with a stable code, a severity, and a
-// source position; a Report renders as human text or JSON.
+// source position; a Report renders as human text or JSON. The diagnostic
+// machinery itself lives in internal/diag and is shared with the
+// architectural analyzer (internal/archlint); this package re-exports the
+// types so existing callers keep working unchanged.
 package analyze
 
-import (
-	"encoding/json"
-	"fmt"
-	"go/token"
-	"sort"
-	"strings"
-)
+import "repro/internal/diag"
 
 // Severity classifies a diagnostic.
-type Severity int
+type Severity = diag.Severity
 
 // Severities. Errors make the configuration unsafe to transform; warnings
 // flag waste or delay risks that do not compromise soundness.
 const (
-	SevWarning Severity = iota + 1
-	SevError
+	SevWarning = diag.SevWarning
+	SevError   = diag.SevError
 )
-
-// String implements fmt.Stringer.
-func (s Severity) String() string {
-	switch s {
-	case SevWarning:
-		return "warning"
-	case SevError:
-		return "error"
-	default:
-		return fmt.Sprintf("severity(%d)", int(s))
-	}
-}
-
-// MarshalJSON renders the severity as its lower-case name.
-func (s Severity) MarshalJSON() ([]byte, error) { return json.Marshal(s.String()) }
 
 // Diagnostic codes. Codes are stable across releases: tools may match on
 // them, and the README documents each one.
@@ -95,127 +77,7 @@ const (
 )
 
 // Diagnostic is one analyzer finding.
-type Diagnostic struct {
-	Code     string         `json:"code"`
-	Severity Severity       `json:"severity"`
-	Pos      token.Position `json:"-"`
-	Message  string         `json:"message"`
-}
-
-// String renders the diagnostic in the compiler-style text form.
-func (d Diagnostic) String() string {
-	if d.Pos.Filename != "" || d.Pos.IsValid() {
-		return fmt.Sprintf("%s: %s[%s]: %s", d.Pos, d.Severity, d.Code, d.Message)
-	}
-	return fmt.Sprintf("%s[%s]: %s", d.Severity, d.Code, d.Message)
-}
-
-// diagJSON is the stable wire form of a Diagnostic.
-type diagJSON struct {
-	Code     string   `json:"code"`
-	Severity Severity `json:"severity"`
-	File     string   `json:"file"`
-	Line     int      `json:"line"`
-	Col      int      `json:"col"`
-	Message  string   `json:"message"`
-}
+type Diagnostic = diag.Diagnostic
 
 // Report collects the diagnostics of one analyzer run.
-type Report struct {
-	Diags []Diagnostic
-}
-
-func (r *Report) add(code string, sev Severity, pos token.Position, format string, args ...any) {
-	r.Diags = append(r.Diags, Diagnostic{
-		Code:     code,
-		Severity: sev,
-		Pos:      pos,
-		Message:  fmt.Sprintf(format, args...),
-	})
-}
-
-// Sort orders diagnostics by file, line, column, then code, making both
-// renderings deterministic.
-func (r *Report) Sort() {
-	sort.SliceStable(r.Diags, func(i, j int) bool {
-		a, b := r.Diags[i], r.Diags[j]
-		if a.Pos.Filename != b.Pos.Filename {
-			return a.Pos.Filename < b.Pos.Filename
-		}
-		if a.Pos.Line != b.Pos.Line {
-			return a.Pos.Line < b.Pos.Line
-		}
-		if a.Pos.Column != b.Pos.Column {
-			return a.Pos.Column < b.Pos.Column
-		}
-		if a.Code != b.Code {
-			return a.Code < b.Code
-		}
-		return a.Message < b.Message
-	})
-}
-
-// HasErrors reports whether any diagnostic is an error.
-func (r *Report) HasErrors() bool {
-	for _, d := range r.Diags {
-		if d.Severity == SevError {
-			return true
-		}
-	}
-	return false
-}
-
-// Counts returns the number of errors and warnings.
-func (r *Report) Counts() (errors, warnings int) {
-	for _, d := range r.Diags {
-		if d.Severity == SevError {
-			errors++
-		} else {
-			warnings++
-		}
-	}
-	return errors, warnings
-}
-
-// Text renders the report as one line per diagnostic plus a summary line.
-func (r *Report) Text() string {
-	var b strings.Builder
-	for _, d := range r.Diags {
-		b.WriteString(d.String())
-		b.WriteByte('\n')
-	}
-	errs, warns := r.Counts()
-	if len(r.Diags) == 0 {
-		b.WriteString("ok: no diagnostics\n")
-	} else {
-		fmt.Fprintf(&b, "%d error(s), %d warning(s)\n", errs, warns)
-	}
-	return b.String()
-}
-
-// JSON renders the report in the stable machine-readable form.
-func (r *Report) JSON() string {
-	errs, warns := r.Counts()
-	out := struct {
-		Diagnostics []diagJSON `json:"diagnostics"`
-		Errors      int        `json:"errors"`
-		Warnings    int        `json:"warnings"`
-	}{Diagnostics: []diagJSON{}, Errors: errs, Warnings: warns}
-	for _, d := range r.Diags {
-		out.Diagnostics = append(out.Diagnostics, diagJSON{
-			Code:     d.Code,
-			Severity: d.Severity,
-			File:     d.Pos.Filename,
-			Line:     d.Pos.Line,
-			Col:      d.Pos.Column,
-			Message:  d.Message,
-		})
-	}
-	data, err := json.MarshalIndent(out, "", "  ")
-	if err != nil {
-		// The structure contains only marshalable fields; this is
-		// unreachable but kept explicit.
-		return fmt.Sprintf(`{"error": %q}`, err.Error())
-	}
-	return string(data) + "\n"
-}
+type Report = diag.Report

@@ -21,7 +21,7 @@ import (
 //     point, which here never comes).
 func checkPlacement(r *Report, prog *lang.Program, info *lang.Info) {
 	if len(info.Points) == 0 {
-		r.add(CodeNoPoints, SevWarning, declPos(prog, "main"),
+		r.Add(CodeNoPoints, SevWarning, declPos(prog, "main"),
 			"module declares no reconfiguration points; it cannot be replaced while running")
 		return
 	}
@@ -30,7 +30,7 @@ func checkPlacement(r *Report, prog *lang.Program, info *lang.Info) {
 	reach := g.ReachableFrom("main")
 	for _, pt := range info.Points {
 		if !reach[pt.Func] {
-			r.add(CodePointUnreachable, SevError, prog.Fset.Position(pt.Call.Pos()),
+			r.Add(CodePointUnreachable, SevError, prog.Fset.Position(pt.Call.Pos()),
 				"reconfiguration point %s is in %s, which is unreachable from main", pt.Label, pt.Func)
 		}
 	}
@@ -54,7 +54,7 @@ func checkPlacement(r *Report, prog *lang.Program, info *lang.Info) {
 		if hasPoint {
 			continue
 		}
-		r.add(CodeCycleNoPoint, SevWarning, declPos(prog, comp[0]),
+		r.Add(CodeCycleNoPoint, SevWarning, declPos(prog, comp[0]),
 			"recursive cycle {%s} is reachable from main but contains no reconfiguration point; a computation inside it delays reconfiguration indefinitely",
 			strings.Join(comp, ", "))
 	}

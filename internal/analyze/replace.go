@@ -49,13 +49,13 @@ func checkReplacement(r *Report, cfg Config, mod *mil.Module) {
 		oldFr := oldOut.Funcs[name]
 		newFr := newOut.Funcs[name]
 		if newFr == nil {
-			r.add(CodeReplacementDropsProc, SevError, replDeclPos(oldProg, name),
+			r.Add(CodeReplacementDropsProc, SevError, replDeclPos(oldProg, name),
 				"replacement module has no instrumented procedure %s; its activation records cannot be mapped", name)
 			continue
 		}
 		pos := replDeclPos(newProg, name)
 		if len(oldFr.Captured) != len(newFr.Captured) {
-			r.add(CodeReplacementShape, SevError, pos,
+			r.Add(CodeReplacementShape, SevError, pos,
 				"procedure %s: capture set has %d variable(s) but the replacement's has %d; frames cannot be installed",
 				name, len(oldFr.Captured), len(newFr.Captured))
 			continue
@@ -63,19 +63,19 @@ func checkReplacement(r *Report, cfg Config, mod *mil.Module) {
 		for i := range oldFr.Captured {
 			ov, nv := oldFr.Captured[i], newFr.Captured[i]
 			if !compatibleTypes(ov.Type, nv.Type) || ov.Pointer != nv.Pointer {
-				r.add(CodeReplacementShape, SevError, pos,
+				r.Add(CodeReplacementShape, SevError, pos,
 					"procedure %s: capture slot %d is %s %s but %s %s in the replacement; the value cannot be converted",
 					name, i+1, ov.Name, describeVar(ov), nv.Name, describeVar(nv))
 				continue
 			}
 			if ov.Name != nv.Name {
-				r.add(CodeReplacementShape, SevWarning, pos,
+				r.Add(CodeReplacementShape, SevWarning, pos,
 					"procedure %s: capture slot %d renames %s to %s; values transfer positionally but the mapping deserves review",
 					name, i+1, ov.Name, nv.Name)
 			}
 		}
 		if !sameInts(oldFr.Edges, newFr.Edges) {
-			r.add(CodeReplacementEdges, SevError, pos,
+			r.Add(CodeReplacementEdges, SevError, pos,
 				"procedure %s: reconfiguration edges %v differ from the replacement's %v; restored resume locations would not align",
 				name, oldFr.Edges, newFr.Edges)
 		}
@@ -85,7 +85,7 @@ func checkReplacement(r *Report, cfg Config, mod *mil.Module) {
 	newLabels := pointLabels(newOut)
 	for _, l := range oldLabels {
 		if !containsString(newLabels, l) {
-			r.add(CodeReplacementEdges, SevError, replDeclPos(newProg, "main"),
+			r.Add(CodeReplacementEdges, SevError, replDeclPos(newProg, "main"),
 				"replacement module drops reconfiguration point %s; state captured there has no installation site", l)
 		}
 	}
@@ -98,11 +98,11 @@ func reportReplacementPrepare(r *Report, err error) {
 	var list lang.ErrorList
 	if errors.As(err, &list) {
 		for _, e := range list {
-			r.add(CodeSourceInvalid, SevError, e.Pos, "replacement: %s", e.Msg)
+			r.Add(CodeSourceInvalid, SevError, e.Pos, "replacement: %s", e.Msg)
 		}
 		return
 	}
-	r.add(CodeReplacementEdges, SevError, token.Position{},
+	r.Add(CodeReplacementEdges, SevError, token.Position{},
 		"replacement module cannot be prepared: %v", err)
 }
 

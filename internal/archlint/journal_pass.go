@@ -1,0 +1,216 @@
+package archlint
+
+import (
+	"go/ast"
+	"go/constant"
+	"strings"
+)
+
+// topologyMutators are the calls that change the running configuration.
+// Keyed by "Recv.Name"; the boolean is the owning package rule: true means
+// the reconfig package's Primitives facade, false the bus itself.
+var topologyMutators = map[string]bool{
+	"Primitives.AddObj":     true,
+	"Primitives.Rebind":     true,
+	"Primitives.ChgObj":     true,
+	"Primitives.DrainQueue": true,
+	"Bus.AddInstance":       false,
+	"Bus.DeleteInstance":    false,
+	"Bus.AddBinding":        false,
+	"Bus.DeleteBinding":     false,
+	"Bus.Rebind":            false,
+	"Bus.MoveQueue":         false,
+	"Bus.DrainQueue":        false,
+}
+
+// journalPass enforces AL008: inside a reconfig transaction (a function of
+// internal/reconfig whose name ends in Tx), every topology-mutating call
+// must journal a compensating inverse. Concretely, a mutating call is
+// legal only if a journal.record call follows within the next two sibling
+// statements, or the transaction has already passed its commit point
+// (journal.discard) — after which the remaining mutations are the
+// sanctioned destructive tail that rollback must never undo.
+//
+// Function literals are exempt: they are the undo closures themselves and
+// the abort helper. ChgObj with a constant "add" op is additive (its
+// inverse is covered by the delete journaled for the clone) and exempt.
+func (a *analysis) journalPass() {
+	p := a.pkgByPath(a.rules.reconfigPkg)
+	if p == nil {
+		return
+	}
+	for _, f := range p.files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !strings.HasSuffix(fd.Name.Name, "Tx") {
+				continue
+			}
+			a.checkTx(p, fd)
+		}
+	}
+}
+
+func (a *analysis) checkTx(p *pkg, fd *ast.FuncDecl) {
+	discarded := false
+	var walk func(stmts []ast.Stmt)
+	walk = func(stmts []ast.Stmt) {
+		for i, st := range stmts {
+			if containsJournalCall(p, st, "discard") {
+				discarded = true
+			}
+			if !discarded {
+				for _, mc := range mutatingCalls(a, p, st) {
+					if !recordNearby(p, stmts, i) {
+						a.diag(CodeUnjournaled, mc.Pos(),
+							"topology mutation %s in %s has no compensating journal.record within the next two statements and precedes the commit point",
+							mutatorName(a, p, mc), fd.Name.Name)
+					}
+				}
+			}
+			for _, blk := range nestedStmtLists(st) {
+				walk(blk)
+			}
+		}
+	}
+	walk(fd.Body.List)
+}
+
+// recordNearby reports a journal.record call in statements i..i+2.
+func recordNearby(p *pkg, stmts []ast.Stmt, i int) bool {
+	for j := i; j < len(stmts) && j <= i+2; j++ {
+		if containsJournalCall(p, stmts[j], "record") {
+			return true
+		}
+	}
+	return false
+}
+
+// containsJournalCall scans st (skipping function literals) for a call of
+// the named method on the reconfig journal type.
+func containsJournalCall(p *pkg, st ast.Stmt, name string) bool {
+	found := false
+	ast.Inspect(st, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(p, call)
+		if fn == nil || fn.Name() != name {
+			return true
+		}
+		if recv := recvNamed(fn); recv != nil && recv.Obj().Name() == "journal" && recv.Obj().Pkg() == p.tpkg {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// mutatingCalls collects the topology-mutating calls in the shallow part
+// of st: nested blocks are excluded (the recursive walk owns their sibling
+// windows), function literals are exempt.
+func mutatingCalls(a *analysis, p *pkg, st ast.Stmt) []*ast.CallExpr {
+	var out []*ast.CallExpr
+	ast.Inspect(st, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.BlockStmt, *ast.FuncLit, *ast.CaseClause, *ast.CommClause:
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isTopologyMutator(a, p, call) {
+			out = append(out, call)
+		}
+		return true
+	})
+	return out
+}
+
+func mutatorKey(a *analysis, p *pkg, call *ast.CallExpr) (string, bool) {
+	fn := calleeFunc(p, call)
+	if fn == nil {
+		return "", false
+	}
+	recv := recvNamed(fn)
+	if recv == nil || recv.Obj().Pkg() == nil {
+		return "", false
+	}
+	key := recv.Obj().Name() + "." + fn.Name()
+	wantReconfig, ok := topologyMutators[key]
+	if !ok {
+		return "", false
+	}
+	want := a.rules.busPkg
+	if wantReconfig {
+		want = a.rules.reconfigPkg
+	}
+	if recv.Obj().Pkg().Path() != want {
+		return "", false
+	}
+	return key, true
+}
+
+func isTopologyMutator(a *analysis, p *pkg, call *ast.CallExpr) bool {
+	key, ok := mutatorKey(a, p, call)
+	if !ok {
+		return false
+	}
+	// ChgObj is additive when its op argument is the constant "add": the
+	// clone's journaled delete already compensates it.
+	if strings.HasSuffix(key, ".ChgObj") && len(call.Args) > 0 {
+		if tv, ok := p.info.Types[call.Args[len(call.Args)-1]]; ok && tv.Value != nil &&
+			tv.Value.Kind() == constant.String && constant.StringVal(tv.Value) == "add" {
+			return false
+		}
+	}
+	return true
+}
+
+func mutatorName(a *analysis, p *pkg, call *ast.CallExpr) string {
+	key, _ := mutatorKey(a, p, call)
+	return key
+}
+
+// nestedStmtLists returns the statement lists nested one level inside st.
+func nestedStmtLists(st ast.Stmt) [][]ast.Stmt {
+	var out [][]ast.Stmt
+	switch s := st.(type) {
+	case *ast.BlockStmt:
+		out = append(out, s.List)
+	case *ast.IfStmt:
+		out = append(out, s.Body.List)
+		switch e := s.Else.(type) {
+		case *ast.BlockStmt:
+			out = append(out, e.List)
+		case *ast.IfStmt:
+			out = append(out, []ast.Stmt{e})
+		}
+	case *ast.ForStmt:
+		out = append(out, s.Body.List)
+	case *ast.RangeStmt:
+		out = append(out, s.Body.List)
+	case *ast.SwitchStmt:
+		for _, c := range s.Body.List {
+			out = append(out, c.(*ast.CaseClause).Body)
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			out = append(out, c.(*ast.CaseClause).Body)
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			out = append(out, c.(*ast.CommClause).Body)
+		}
+	case *ast.LabeledStmt:
+		out = append(out, []ast.Stmt{s.Stmt})
+	}
+	return out
+}

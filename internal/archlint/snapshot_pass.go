@@ -1,0 +1,101 @@
+package archlint
+
+import (
+	"go/ast"
+	"path"
+)
+
+// snapshotPass enforces AL006, the copy-on-write discipline of the routing
+// snapshot:
+//
+//   - the Bus.routing pointer is touched only as the receiver of an atomic
+//     Load or Store — never copied, aliased, or passed around;
+//   - Store (the publish) happens only in bus.go, under the writer lock —
+//     routing, queueing and transport read snapshots, they never publish;
+//   - routingTable fields are written only inside routing.go, where the
+//     builder constructs the successor table before it is published; after
+//     publish a table is immutable.
+func (a *analysis) snapshotPass() {
+	p := a.pkgByPath(a.rules.busPkg)
+	if p == nil {
+		return
+	}
+	for i, f := range p.files {
+		base := path.Base(p.names[i])
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			if sel, ok := n.(*ast.SelectorExpr); ok && sel.Sel.Name == "routing" {
+				if owner := fieldOwner(p, sel); owner != nil &&
+					owner.Obj().Name() == "Bus" && owner.Obj().Pkg() == p.tpkg {
+					a.checkRoutingUse(base, sel, stack)
+				}
+			}
+			switch s := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range s.Lhs {
+					a.checkTableWrite(p, base, lhs)
+				}
+			case *ast.IncDecStmt:
+				a.checkTableWrite(p, base, s.X)
+			}
+			return true
+		})
+	}
+}
+
+// checkRoutingUse validates one appearance of the Bus.routing selector
+// against the atomic-access discipline.
+func (a *analysis) checkRoutingUse(base string, sel *ast.SelectorExpr, stack []ast.Node) {
+	// stack ends with ... parent, sel.
+	if len(stack) >= 3 {
+		if pSel, ok := stack[len(stack)-2].(*ast.SelectorExpr); ok && pSel.X == sel {
+			if call, ok := stack[len(stack)-3].(*ast.CallExpr); ok && call.Fun == pSel {
+				switch pSel.Sel.Name {
+				case "Load":
+					return
+				case "Store":
+					if base != "bus.go" {
+						a.diag(CodeSnapshot, sel.Pos(),
+							"routing snapshot published outside bus.go: the copy-on-write publish site lives behind the writer lock in the facade")
+					}
+					return
+				}
+			}
+		}
+	}
+	a.diag(CodeSnapshot, sel.Pos(),
+		"routing snapshot pointer accessed other than via atomic Load/Store")
+}
+
+// checkTableWrite flags assignments through routingTable fields outside the
+// builder in routing.go. The left-hand side is unwrapped through index and
+// dereference expressions so map/slice element writes count too.
+func (a *analysis) checkTableWrite(p *pkg, base string, lhs ast.Expr) {
+	if base == "routing.go" {
+		return
+	}
+	for {
+		switch e := lhs.(type) {
+		case *ast.IndexExpr:
+			lhs = e.X
+		case *ast.StarExpr:
+			lhs = e.X
+		case *ast.ParenExpr:
+			lhs = e.X
+		default:
+			if sel, ok := lhs.(*ast.SelectorExpr); ok {
+				if owner := fieldOwner(p, sel); owner != nil &&
+					owner.Obj().Name() == "routingTable" && owner.Obj().Pkg() == p.tpkg {
+					a.diag(CodeSnapshot, sel.Pos(),
+						"routingTable.%s written outside routing.go: published tables are immutable, mutate a draft and republish", sel.Sel.Name)
+				}
+			}
+			return
+		}
+	}
+}

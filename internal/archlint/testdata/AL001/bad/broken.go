@@ -1,0 +1,4 @@
+package broken
+
+// Pi is misdeclared: the initializer names an undefined identifier.
+var Pi = tau

@@ -1,0 +1,4 @@
+package fine
+
+// Pi is a well-typed constant.
+const Pi = 3

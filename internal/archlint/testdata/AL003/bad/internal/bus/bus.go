@@ -1,0 +1,6 @@
+package bus
+
+import "sync"
+
+// Bus owns the control-plane writer lock.
+type Bus struct{ mu sync.Mutex }

@@ -1,0 +1,18 @@
+package bus
+
+import (
+	"sync"
+	"time"
+)
+
+// Bus owns the control-plane writer lock.
+type Bus struct{ mu sync.Mutex }
+
+// Bad blocks while holding the writer lock: a send with no default, and a
+// sleep.
+func (b *Bus) Bad(ch chan int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	ch <- 1
+	time.Sleep(time.Millisecond)
+}

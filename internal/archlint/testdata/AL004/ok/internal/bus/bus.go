@@ -1,0 +1,21 @@
+package bus
+
+import (
+	"sync"
+	"time"
+)
+
+// Bus owns the control-plane writer lock.
+type Bus struct{ mu sync.Mutex }
+
+// Good signals without blocking under the lock and sleeps after releasing
+// it.
+func (b *Bus) Good(ch chan int) {
+	b.mu.Lock()
+	select {
+	case ch <- 1:
+	default:
+	}
+	b.mu.Unlock()
+	time.Sleep(time.Millisecond)
+}

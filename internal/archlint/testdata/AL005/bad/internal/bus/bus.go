@@ -1,0 +1,13 @@
+package bus
+
+import "sync"
+
+// Bus owns the control-plane writer lock.
+type Bus struct{ mu sync.Mutex }
+
+// edit runs fn under the writer lock.
+func (b *Bus) edit(fn func()) {
+	b.mu.Lock()
+	fn()
+	b.mu.Unlock()
+}

@@ -1,0 +1,16 @@
+package bus
+
+import "sync"
+
+// msgQueue is a per-interface message queue.
+type msgQueue struct {
+	mu  sync.Mutex
+	bus *Bus
+}
+
+// inverted enters the writer lock while holding the queue lock.
+func (q *msgQueue) inverted() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.bus.edit(func() {})
+}

@@ -1,0 +1,16 @@
+package bus
+
+import "sync"
+
+// msgQueue is a per-interface message queue.
+type msgQueue struct {
+	mu  sync.Mutex
+	bus *Bus
+}
+
+// ordered releases the queue lock before entering the writer lock.
+func (q *msgQueue) ordered() {
+	q.mu.Lock()
+	q.mu.Unlock()
+	q.bus.edit(func() {})
+}

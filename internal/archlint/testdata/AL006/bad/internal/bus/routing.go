@@ -1,0 +1,4 @@
+package bus
+
+// routingTable is one immutable snapshot.
+type routingTable struct{ version uint64 }

@@ -1,0 +1,12 @@
+package bus
+
+// Version breaks the snapshot discipline three ways: aliasing the pointer
+// cell, publishing outside bus.go, and mutating a published table.
+func Version(b *Bus) uint64 {
+	p := &b.routing
+	_ = p
+	b.routing.Store(&routingTable{})
+	rt := b.routing.Load()
+	rt.version = 7
+	return rt.version
+}

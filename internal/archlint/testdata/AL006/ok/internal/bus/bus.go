@@ -1,0 +1,9 @@
+package bus
+
+import "sync/atomic"
+
+// Bus publishes routing snapshots copy-on-write.
+type Bus struct{ routing atomic.Pointer[routingTable] }
+
+// publish installs the successor snapshot from the sanctioned site.
+func (b *Bus) publish(rt *routingTable) { b.routing.Store(rt) }

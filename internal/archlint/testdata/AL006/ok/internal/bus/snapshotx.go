@@ -1,0 +1,6 @@
+package bus
+
+// Version reads through an atomic load and treats the table as immutable.
+func Version(b *Bus) uint64 {
+	return b.routing.Load().version
+}

@@ -1,0 +1,12 @@
+package hot
+
+// Queue grows by amortized self-append.
+type Queue struct{ items []int }
+
+// Push is a clean hot path: one self-append and arithmetic.
+//
+//archlint:hotpath
+func (q *Queue) Push(n int) int {
+	q.items = append(q.items, n)
+	return len(q.items)
+}

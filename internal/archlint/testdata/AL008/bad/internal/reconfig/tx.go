@@ -1,0 +1,12 @@
+package reconfig
+
+// BadTx mutates the topology without journaling a compensating inverse,
+// so an abort after the mutation has nothing to roll back with.
+func BadTx(p *Primitives) error {
+	j := &journal{}
+	if err := p.AddObj("clone"); err != nil {
+		return err
+	}
+	j.discard()
+	return nil
+}

@@ -1,0 +1,17 @@
+package reconfig
+
+// journal collects compensating inverses for rollback.
+type journal struct{ entries []entry }
+
+type entry struct {
+	action string
+	undo   func() error
+}
+
+// record appends a compensating inverse.
+func (j *journal) record(action string, undo func() error) {
+	j.entries = append(j.entries, entry{action, undo})
+}
+
+// discard marks the commit point: rollback is off the table.
+func (j *journal) discard() { j.entries = nil }

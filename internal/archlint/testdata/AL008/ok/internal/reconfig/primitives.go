@@ -1,0 +1,10 @@
+package reconfig
+
+// Primitives is the topology-mutation facade.
+type Primitives struct{}
+
+// AddObj creates an instance.
+func (p *Primitives) AddObj(name string) error { return nil }
+
+// DrainQueue discards queued messages.
+func (p *Primitives) DrainQueue(name string) (int, error) { return 0, nil }

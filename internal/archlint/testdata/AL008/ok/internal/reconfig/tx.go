@@ -1,0 +1,16 @@
+package reconfig
+
+// GoodTx journals an inverse for its mutation, commits, then runs the
+// sanctioned destructive tail.
+func GoodTx(p *Primitives) error {
+	j := &journal{}
+	if err := p.AddObj("clone"); err != nil {
+		return err
+	}
+	j.record("delete_clone", func() error { return nil })
+	j.discard()
+	if _, err := p.DrainQueue("old.in"); err != nil {
+		return err
+	}
+	return nil
+}

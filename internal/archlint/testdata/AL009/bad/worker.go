@@ -1,0 +1,6 @@
+package worker
+
+// Start leaks an unannotated goroutine.
+func Start(fn func()) {
+	go fn()
+}

@@ -1,0 +1,6 @@
+package worker
+
+// Start documents its spawn site.
+func Start(fn func()) {
+	go fn() //archlint:spawn worker body; caller owns the lifecycle
+}

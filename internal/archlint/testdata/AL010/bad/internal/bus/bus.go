@@ -1,0 +1,4 @@
+package bus
+
+// Ping is a bus entry point.
+func Ping() {}

@@ -1,0 +1,6 @@
+package telemetry
+
+import "repro/internal/bus"
+
+// Probe makes telemetry depend on the bus it is supposed to measure.
+func Probe() { bus.Ping() }

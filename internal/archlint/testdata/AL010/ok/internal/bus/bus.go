@@ -1,0 +1,6 @@
+package bus
+
+import "repro/internal/telemetry"
+
+// Ping depends downward on telemetry: the sanctioned direction.
+func Ping() int { return telemetry.Count() }

@@ -1,0 +1,4 @@
+package telemetry
+
+// Count is a leaf utility with no upward dependency.
+func Count() int { return 0 }

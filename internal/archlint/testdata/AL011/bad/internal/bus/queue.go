@@ -1,0 +1,11 @@
+package bus
+
+// msgQueue is a per-interface message queue.
+type msgQueue struct{ stale uint64 }
+
+// fence reads routing internals beyond the sanctioned errStaleRoute
+// sentinel.
+func (q *msgQueue) fence(rt *routingTable) error {
+	q.stale = rt.version
+	return errStaleRoute
+}

@@ -1,0 +1,17 @@
+package bus
+
+import "errors"
+
+// routingTable is one immutable snapshot.
+type routingTable struct{ version uint64 }
+
+// errStaleRoute refuses a push resolved from a fenced snapshot.
+var errStaleRoute = errors.New("bus: stale route")
+
+// fenceAll reaches up into the queueing layer: routing may not know
+// queues exist.
+func fenceAll(qs []*msgQueue) {
+	for _, q := range qs {
+		q.stale = 1
+	}
+}

@@ -1,0 +1,7 @@
+package bus
+
+// msgQueue is a per-interface message queue.
+type msgQueue struct{ stale uint64 }
+
+// refuse uses only the sanctioned stale-route sentinel from routing.
+func (q *msgQueue) refuse() error { return errStaleRoute }

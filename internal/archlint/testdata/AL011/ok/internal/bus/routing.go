@@ -1,0 +1,9 @@
+package bus
+
+import "errors"
+
+// routingTable is one immutable snapshot.
+type routingTable struct{ version uint64 }
+
+// errStaleRoute refuses a push resolved from a fenced snapshot.
+var errStaleRoute = errors.New("bus: stale route")

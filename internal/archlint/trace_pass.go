@@ -1,0 +1,58 @@
+package archlint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// tracePass enforces AL002: the causal clock is advanced only inside the
+// transport layer. Minting a trace (Tracer.MintTrace), deriving a span
+// (ChildSpan) and stamping an outbound message (Stamp) are confined to
+// internal/bus and the trace package itself; every other package must
+// carry contexts opaquely. Resolution is by type — a comment or string
+// mentioning MintTrace, or a same-named method on an unrelated type, does
+// not match.
+func (a *analysis) tracePass() {
+	minting := map[string]bool{"MintTrace": true, "ChildSpan": true, "Stamp": true}
+	for _, p := range a.checked() {
+		if p.path == a.rules.busPkg || p.path == a.rules.tracePkg {
+			continue
+		}
+		for id, obj := range p.info.Uses {
+			fn, ok := obj.(*types.Func)
+			if !ok || !minting[fn.Name()] || pkgPathOf(fn) != a.rules.tracePkg {
+				continue
+			}
+			recv := recvNamed(fn)
+			if recv == nil || recv.Obj().Name() != "Tracer" {
+				continue
+			}
+			a.diag(CodeTraceMint, id.Pos(),
+				"trace minting (%s.%s) outside the bus layer: only internal/bus and internal/telemetry/trace may advance the causal clock",
+				recv.Obj().Name(), fn.Name())
+		}
+	}
+}
+
+// spawnPass enforces AL009: every go statement is an allowlisted spawn
+// site, annotated //archlint:spawn <reason> on its line or the line above.
+// Unannotated goroutines are how leaks and orphaned workers enter a
+// long-lived reconfigurable process.
+func (a *analysis) spawnPass() {
+	for _, p := range a.mod.pkgs {
+		for _, f := range p.files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				g, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				pos := a.mod.fset.Position(g.Pos())
+				if !a.ann.spawnAllowed(pos.Filename, pos.Line) {
+					a.diag(CodeSpawn, g.Pos(),
+						"go statement without //archlint:spawn annotation: goroutine spawn sites are allowlisted")
+				}
+				return true
+			})
+		}
+	}
+}

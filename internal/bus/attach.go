@@ -67,6 +67,8 @@ func (a *Attachment) Status() string {
 }
 
 // Write emits data on the named interface (mh_write).
+//
+//archlint:hotpath
 func (a *Attachment) Write(ifaceName string, data []byte) error {
 	return a.bus.write(Endpoint{Instance: a.inst.spec.Name, Interface: ifaceName}, data)
 }
@@ -75,12 +77,16 @@ func (a *Attachment) Write(ifaceName string, data []byte) error {
 // runtime passes the TraceContext of the message it is responding to, and
 // the bus stamps the outgoing message with a child span. A zero parent is
 // equivalent to Write (the bus mints a root).
+//
+//archlint:hotpath
 func (a *Attachment) WriteTraced(ifaceName string, data []byte, parent TraceContext) error {
 	return a.bus.writeTraced(Endpoint{Instance: a.inst.spec.Name, Interface: ifaceName}, data, parent)
 }
 
 // Read blocks until a message arrives on the named interface (mh_read).
 // It fails with ErrStopped if the instance is deleted while blocked.
+//
+//archlint:hotpath
 func (a *Attachment) Read(ifaceName string) (Message, error) {
 	q, err := a.recvQueue(ifaceName)
 	if err != nil {
@@ -98,6 +104,8 @@ func (a *Attachment) Read(ifaceName string) (Message, error) {
 
 // TryRead returns a pending message without blocking. The second result is
 // false when no message is queued.
+//
+//archlint:hotpath
 func (a *Attachment) TryRead(ifaceName string) (Message, bool, error) {
 	q, err := a.recvQueue(ifaceName)
 	if err != nil {

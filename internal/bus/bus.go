@@ -1119,6 +1119,8 @@ func (b *Bus) IfSources(e Endpoint) ([]Endpoint, error) {
 
 // write routes a message from the given endpoint to every bound receiving
 // endpoint. Called by Attachment.Write.
+//
+//archlint:hotpath
 func (b *Bus) write(from Endpoint, data []byte) error {
 	return b.writeTraced(from, data, TraceContext{})
 }
@@ -1133,21 +1135,16 @@ func (b *Bus) write(from Endpoint, data []byte) error {
 // way traffic meets reconfiguration is the stale-route fence: a push
 // refused because its route was resolved from a fenced snapshot falls to
 // writeSlow, which serializes with the writer lock and re-resolves.
+//
+//archlint:hotpath
 func (b *Bus) writeTraced(from Endpoint, data []byte, parent TraceContext) error {
 	rt := b.routing.Load()
 	rs, ok := rt.routes[from]
 	if !ok {
-		// Not a sending endpoint in this snapshot: report which invariant
-		// failed with the same fidelity as the routing layer.
-		ifc, err := rt.lookup(from)
-		if err != nil {
-			return err
-		}
-		return fmt.Errorf("%w: write on %s (%s)", ErrDirection, from, ifc.spec.Dir)
+		return b.writeNoRouteErr(rt, from)
 	}
 	if len(rs.targets) == 0 {
-		b.stats.dropped.Add(1)
-		return fmt.Errorf("%w: %s", ErrUnbound, from)
+		return b.writeUnboundErr(from)
 	}
 	msg := Message{From: from, Data: data}
 	if b.tracer != nil {
@@ -1172,6 +1169,25 @@ func (b *Bus) writeTraced(from Endpoint, data []byte, parent TraceContext) error
 		rs.src.sent.Add(delivered)
 	}
 	return nil
+}
+
+// writeNoRouteErr reports a write on an endpoint with no route entry in
+// the snapshot — the cold branch of writeTraced, kept in its own function
+// so the annotated hot path carries no formatting. It re-resolves through
+// the routing layer to report which invariant actually failed.
+func (b *Bus) writeNoRouteErr(rt *routingTable, from Endpoint) error {
+	ifc, err := rt.lookup(from)
+	if err != nil {
+		return err
+	}
+	return fmt.Errorf("%w: write on %s (%s)", ErrDirection, from, ifc.spec.Dir)
+}
+
+// writeUnboundErr counts and reports a write on an endpoint with no bound
+// receivers — the other cold branch of writeTraced.
+func (b *Bus) writeUnboundErr(from Endpoint) error {
+	b.stats.dropped.Add(1)
+	return fmt.Errorf("%w: %s", ErrUnbound, from)
 }
 
 // writeSlow finishes a write whose fast-path route was fenced by a

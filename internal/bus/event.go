@@ -100,7 +100,7 @@ func (o *observerQueue) enqueue(e Event) {
 	o.pending = append(o.pending, e)
 	if !o.active {
 		o.active = true
-		go o.drain()
+		go o.drain() //archlint:spawn observer drain; exits when the queue empties or closes
 	}
 	o.mu.Unlock()
 }

@@ -1,11 +1,9 @@
 package bus
 
 import (
-	"os"
-	"path/filepath"
-	"regexp"
-	"strings"
 	"testing"
+
+	"repro/internal/archlint"
 )
 
 // TestBusMutexStaysInBusGo pins the layering of the package: the
@@ -13,29 +11,28 @@ import (
 // The queueing and transport layers reach the routing layer only through
 // the snapshot and the narrow editor, never by grabbing the global lock —
 // this is what makes the steady-state Send/Deliver path lock-free. The test
-// fails if any non-test file other than bus.go mentions the mutex (the
+// fails if any non-test file other than bus.go touches the mutex (the
 // historical leak was attach.go locking a.bus.mu directly).
+//
+// The check itself is archlint's AL003 pass, which resolves the mu field to
+// the Bus struct through go/types — any receiver spelling is caught, and
+// the unrelated msgQueue/stateBox locks stay out of scope by type rather
+// than by regex. The related disciplines ride along: nothing blocks while
+// Bus.mu is held (AL004), queue locks never wrap Bus.mu (AL005), and the
+// routing snapshot is only touched through the atomic protocol (AL006).
 func TestBusMutexStaysInBusGo(t *testing.T) {
-	// Matches b.mu / bus.mu as a field access; \b on the left keeps
-	// sb.mu (stateBox) and q.mu (msgQueue) out of scope.
-	busMu := regexp.MustCompile(`\b(b|bus)\.mu\b`)
-	entries, err := os.ReadDir(".")
+	report, err := archlint.Run(archlint.Config{Dir: "../.."})
 	if err != nil {
-		t.Fatal(err)
+		t.Fatalf("archlint: %v", err)
 	}
-	for _, e := range entries {
-		name := e.Name()
-		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") || name == "bus.go" {
-			continue
-		}
-		src, err := os.ReadFile(filepath.Join(".", name))
-		if err != nil {
-			t.Fatal(err)
-		}
-		for i, line := range strings.Split(string(src), "\n") {
-			if busMu.MatchString(line) {
-				t.Errorf("%s:%d: references the global bus mutex outside bus.go: %s", name, i+1, strings.TrimSpace(line))
-			}
+	for _, code := range []string{
+		archlint.CodeMuConfine,
+		archlint.CodeBlockUnderMu,
+		archlint.CodeLockOrder,
+		archlint.CodeSnapshot,
+	} {
+		for _, d := range report.ByCode(code) {
+			t.Errorf("%s", d)
 		}
 	}
 }

@@ -34,6 +34,8 @@ func newMsgQueue() *msgQueue {
 }
 
 // push appends a message. Pushing to a closed queue reports ErrQueueClosed.
+//
+//archlint:hotpath
 func (q *msgQueue) push(m Message) error {
 	q.mu.Lock()
 	defer q.mu.Unlock()
@@ -49,6 +51,8 @@ func (q *msgQueue) push(m Message) error {
 // with the given version. It refuses with errStaleRoute when the queue has
 // been fenced at or past that version, so a writer racing a topology change
 // can never land traffic on an abandoned route.
+//
+//archlint:hotpath
 func (q *msgQueue) pushRouted(m Message, version uint64) error {
 	q.mu.Lock()
 	defer q.mu.Unlock()
@@ -93,6 +97,8 @@ func (q *msgQueue) pushAll(items []Message) error {
 
 // pop removes and returns the oldest message, blocking until one is
 // available or the queue closes.
+//
+//archlint:hotpath
 func (q *msgQueue) pop() (Message, error) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
@@ -108,6 +114,8 @@ func (q *msgQueue) pop() (Message, error) {
 }
 
 // tryPop removes and returns the oldest message without blocking.
+//
+//archlint:hotpath
 func (q *msgQueue) tryPop() (Message, bool, error) {
 	q.mu.Lock()
 	defer q.mu.Unlock()

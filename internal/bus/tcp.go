@@ -127,7 +127,7 @@ func NewServer(b *Bus, l net.Listener) *Server {
 		s.rpc[op] = b.Telemetry().Counter("bus.rpc." + op)
 	}
 	s.rpc["unknown"] = b.Telemetry().Counter("bus.rpc.unknown")
-	go s.acceptLoop()
+	go s.acceptLoop() //archlint:spawn accept loop; exits when the listener closes
 	return s
 }
 
@@ -158,7 +158,7 @@ func (s *Server) acceptLoop() {
 		s.mu.Lock()
 		s.conns[conn] = struct{}{}
 		s.mu.Unlock()
-		go s.serveConn(conn)
+		go s.serveConn(conn) //archlint:spawn per-connection handler; exits on conn close, tracked in s.conns
 	}
 }
 
@@ -201,7 +201,7 @@ func (s *Server) serveConn(conn net.Conn) {
 	// Push signals and the deletion notice.
 	stopPush := make(chan struct{})
 	defer close(stopPush)
-	go func() {
+	go func() { //archlint:spawn signal push pump; exits via stopPush on handshake teardown
 		for {
 			select {
 			case sig, ok := <-att.Signals():
@@ -232,7 +232,7 @@ func (s *Server) serveConn(conn net.Conn) {
 			return
 		}
 		wg.Add(1)
-		go func(req clientFrame) {
+		go func(req clientFrame) { //archlint:spawn per-request handler; joined via wg before conn teardown
 			defer wg.Done()
 			_ = send(s.handle(att, req))
 		}(req)
@@ -401,7 +401,7 @@ func DialPortWith(addr, instance string, opts DialOptions) (*RemotePort, error) 
 		return nil, errors.New("bus: malformed hello ack")
 	}
 	p.hello = *ack.Hello
-	go p.demux(dec)
+	go p.demux(dec) //archlint:spawn client demux; exits when the connection closes
 	return p, nil
 }
 

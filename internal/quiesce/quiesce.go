@@ -81,7 +81,7 @@ func (g *Guard) Quiesce(timeout time.Duration) error {
 	g.mu.Lock()
 	g.wanted = true
 	g.mu.Unlock()
-	go func() {
+	go func() { //archlint:spawn quiescence waiter; closes done when the guard settles or ctx ends
 		defer close(done)
 		g.mu.Lock()
 		defer g.mu.Unlock()

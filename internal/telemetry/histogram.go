@@ -29,11 +29,15 @@ type Histogram struct {
 }
 
 // Observe records one duration.
+//
+//archlint:hotpath
 func (h *Histogram) Observe(d time.Duration) {
 	h.ObserveNs(int64(d))
 }
 
 // ObserveNs records one duration given in nanoseconds.
+//
+//archlint:hotpath
 func (h *Histogram) ObserveNs(ns int64) {
 	if h == nil {
 		return

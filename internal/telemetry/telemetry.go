@@ -30,6 +30,8 @@ type Counter struct {
 }
 
 // Inc adds one.
+//
+//archlint:hotpath
 func (c *Counter) Inc() {
 	if c == nil {
 		return
@@ -38,6 +40,8 @@ func (c *Counter) Inc() {
 }
 
 // Add adds n.
+//
+//archlint:hotpath
 func (c *Counter) Add(n int64) {
 	if c == nil {
 		return
@@ -60,6 +64,8 @@ type Gauge struct {
 }
 
 // Set stores n.
+//
+//archlint:hotpath
 func (g *Gauge) Set(n int64) {
 	if g == nil {
 		return
@@ -68,6 +74,8 @@ func (g *Gauge) Set(n int64) {
 }
 
 // Add adjusts the gauge by delta (negative to decrease).
+//
+//archlint:hotpath
 func (g *Gauge) Add(delta int64) {
 	if g == nil {
 		return

@@ -93,6 +93,8 @@ func (t *Tracer) Recorder() *Recorder {
 // MintTrace opens a new causal chain: a fresh trace ID, a root span, and
 // the head-based sampling decision. Only the bus/transport layer may call
 // it (pinned by a lint test) — module code never mints trace IDs.
+//
+//archlint:hotpath
 func (t *Tracer) MintTrace() Context {
 	if t == nil {
 		return Context{}
@@ -112,6 +114,8 @@ func (t *Tracer) MintTrace() Context {
 // ChildSpan extends an existing chain across one receive→send handoff: the
 // trace ID and sampling decision are inherited, the sending span becomes
 // the parent, and the hop count increments.
+//
+//archlint:hotpath
 func (t *Tracer) ChildSpan(parent Context) Context {
 	if t == nil {
 		return Context{}
@@ -128,6 +132,8 @@ func (t *Tracer) ChildSpan(parent Context) Context {
 
 // Stamp is the single entry point the bus write path uses: extend the
 // carried context when there is one, mint a root otherwise.
+//
+//archlint:hotpath
 func (t *Tracer) Stamp(parent Context) Context {
 	if parent.Valid() {
 		return t.ChildSpan(parent)

@@ -96,7 +96,7 @@ func Main(rt *MH, body func()) {
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, syscall.SIGHUP)
 	defer signal.Stop(sigs)
-	go func() {
+	go func() { //archlint:spawn SIGHUP forwarder; exits when signal.Stop closes sigs
 		for range sigs {
 			rt.RequestReconfig()
 		}

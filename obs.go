@@ -38,7 +38,7 @@ func (a *App) ServeObs(l net.Listener) *ObsServer {
 	mux.HandleFunc("/traces", a.handleTraces)
 	mux.HandleFunc("/trace/", a.handleTrace)
 	srv := &http.Server{Handler: mux}
-	go func() { _ = srv.Serve(l) }()
+	go func() { _ = srv.Serve(l) }() //archlint:spawn HTTP server; exits when srv.Close is called
 	return &ObsServer{srv: srv, l: l}
 }
 

@@ -368,14 +368,14 @@ func (a *App) Launch(instance string) error {
 	a.mu.Unlock()
 
 	if pm.Native != nil {
-		go func() {
+		go func() { //archlint:spawn native instance body; reports exit on ri.done
 			mh.Run(func() { pm.Native(rt) })
 			ri.done <- a.finishInstance(rt, nil)
 		}()
 		return nil
 	}
 	in := interp.New(pm.Prog, pm.Info, rt)
-	go func() {
+	go func() { //archlint:spawn interpreted instance body; reports exit on ri.done
 		_, err := in.Run()
 		ri.done <- a.finishInstance(rt, err)
 	}()

@@ -18,6 +18,9 @@ fi
 echo "== go vet ./..."
 go vet ./...
 
+echo "== archlint ./... (self-hosting architectural invariants)"
+go run ./cmd/archlint ./...
+
 echo "== go test -race ./internal/bus/... ./internal/quiesce/... ./internal/reconfig/... ./internal/mh/..."
 go test -race ./internal/bus/... ./internal/quiesce/... ./internal/reconfig/... ./internal/mh/...
 

@@ -1,12 +1,9 @@
 package reconf
 
 import (
-	"io/fs"
-	"os"
-	"path/filepath"
-	"regexp"
-	"strings"
 	"testing"
+
+	"repro/internal/archlint"
 )
 
 // TestTraceStampingStaysInBusLayer pins the division of labour the trace
@@ -15,38 +12,16 @@ import (
 // Only internal/bus and the trace package itself may mint or extend trace
 // contexts; if this fails, a higher layer started inventing trace IDs and
 // causal chains can no longer be trusted.
+//
+// The check itself is archlint's AL002 pass, which resolves the minting
+// methods through go/types — so a comment or string that merely mentions
+// MintTrace no longer trips it, and a renamed import no longer evades it.
 func TestTraceStampingStaysInBusLayer(t *testing.T) {
-	mint := regexp.MustCompile(`\.(MintTrace|ChildSpan|Stamp)\(`)
-	allowed := func(path string) bool {
-		return strings.HasPrefix(path, "internal/bus/") ||
-			strings.HasPrefix(path, "internal/telemetry/trace/")
-	}
-	err := filepath.WalkDir(".", func(path string, d fs.DirEntry, err error) error {
-		if err != nil {
-			return err
-		}
-		if d.IsDir() {
-			if d.Name() == ".git" || d.Name() == "testdata" {
-				return filepath.SkipDir
-			}
-			return nil
-		}
-		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") || allowed(path) {
-			return nil
-		}
-		src, err := os.ReadFile(path)
-		if err != nil {
-			return err
-		}
-		for i, line := range strings.Split(string(src), "\n") {
-			if mint.MatchString(line) {
-				t.Errorf("%s:%d: mints a trace context outside the bus layer: %s",
-					path, i+1, strings.TrimSpace(line))
-			}
-		}
-		return nil
-	})
+	report, err := archlint.Run(archlint.Config{Dir: "."})
 	if err != nil {
-		t.Fatal(err)
+		t.Fatalf("archlint: %v", err)
+	}
+	for _, d := range report.ByCode(archlint.CodeTraceMint) {
+		t.Errorf("%s", d)
 	}
 }
