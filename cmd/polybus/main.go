@@ -98,14 +98,25 @@ func run(args []string) error {
 	// wait for a remote attachment.
 	remoteWait := []string{}
 	for _, inst := range app.Application.Instances {
-		if _, ok := cfg.Sources[inst.Module]; ok {
-			if err := app.Launch(inst.Name); err != nil {
-				return err
-			}
-			fmt.Println("launched", inst.Name)
-		} else {
+		if _, ok := cfg.Sources[inst.Module]; !ok {
 			remoteWait = append(remoteWait, inst.Name)
+			continue
 		}
+		if inst.Replicated() {
+			for i := 1; i <= inst.Replicas; i++ {
+				member := fmt.Sprintf("%s.%d", inst.Name, i)
+				if err := app.Launch(member); err != nil {
+					return err
+				}
+				fmt.Println("launched", member)
+			}
+			app.Supervisor(inst.Name).Start()
+			continue
+		}
+		if err := app.Launch(inst.Name); err != nil {
+			return err
+		}
+		fmt.Println("launched", inst.Name)
 	}
 	if len(remoteWait) > 0 {
 		fmt.Println("waiting for remote attachments:", strings.Join(remoteWait, ", "))

@@ -10,6 +10,7 @@
 //	reconfigctl -addr 127.0.0.1:7008 remove <inst>
 //	reconfigctl -addr 127.0.0.1:7008 trace [txid]
 //	reconfigctl -addr 127.0.0.1:7008 stats
+//	reconfigctl -addr 127.0.0.1:7008 replicas
 //
 // The replacement-family commands (move, replace, update) run as a
 // transaction on the application side: every primitive journals a
@@ -24,6 +25,11 @@
 // prints the primitive audit trail; `trace <txid>` prints that
 // transaction's span timeline (quiesce wait, state move, rebind, restore
 // wait, commit or rollback) with its step trace.
+//
+// `replicas` prints the health of every supervised replica group as JSON:
+// live members with their heartbeat counter and queued backlog, dead
+// members awaiting rebuild, and the supervision counters (detections,
+// recoveries, busy-retries, failures).
 package main
 
 import (
@@ -53,7 +59,7 @@ func run(args []string) error {
 	}
 	rest := fs.Args()
 	if len(rest) == 0 {
-		return fmt.Errorf("no command (topology|instances|move|replace|update|replicate|remove|trace|stats)")
+		return fmt.Errorf("no command (topology|instances|move|replace|update|replicate|remove|trace|stats|replicas)")
 	}
 
 	c, err := reconf.DialControl(*addr, *timeout)
@@ -176,6 +182,12 @@ func run(args []string) error {
 			return err
 		}
 		fmt.Println(stats)
+	case "replicas":
+		reps, err := c.Replicas()
+		if err != nil {
+			return err
+		}
+		fmt.Println(reps)
 	default:
 		return fmt.Errorf("unknown command %q", rest[0])
 	}

@@ -20,7 +20,7 @@ import (
 // one gob-framed request/response pair per operation.
 
 type ctlRequest struct {
-	Op      string // topology|instances|move|replace|update|replicate|remove|plan|trace|stats
+	Op      string // topology|instances|move|replace|update|replicate|remove|plan|trace|stats|replicas
 	Inst    string // instance name; for "trace", an optional transaction ID
 	NewName string
 	Machine string
@@ -228,6 +228,12 @@ func (s *ControlServer) handle(req ctlRequest) ctlResponse {
 			return fail(err)
 		}
 		return ctlResponse{Text: string(data)}
+	case "replicas":
+		data, err := json.MarshalIndent(a.ReplicaSets(), "", "  ")
+		if err != nil {
+			return fail(err)
+		}
+		return ctlResponse{Text: string(data)}
 	default:
 		return ctlResponse{Err: fmt.Sprintf("reconf: unknown control op %q", req.Op)}
 	}
@@ -350,6 +356,13 @@ func (c *ControlClient) TraceTx(txid string) ([]string, error) {
 // document (see statsSnapshot).
 func (c *ControlClient) Stats() (string, error) {
 	resp, err := c.call(ctlRequest{Op: "stats"})
+	return resp.Text, err
+}
+
+// Replicas fetches the remote replica-group health snapshot as an indented
+// JSON document (see reconfig.ReplicaSetStatus).
+func (c *ControlClient) Replicas() (string, error) {
+	resp, err := c.call(ctlRequest{Op: "replicas"})
 	return resp.Text, err
 }
 

@@ -42,6 +42,13 @@ func TestExamplesRun(t *testing.T) {
 			"migrating smoother to machineB under load",
 			"all 40 smoothed values correct and in order across the migration",
 		}},
+		{"./examples/selfheal", []string{
+			"worker pool: 3 replicas, policy roundrobin",
+			"killing pool.2 under load",
+			"restored from checkpoint",
+			"healed: members [pool.1 pool.3 pool.4]",
+			"zero messages lost: 200/200",
+		}},
 	}
 	for _, tc := range cases {
 		tc := tc

@@ -305,7 +305,7 @@ func New(opts ...BusOption) *Bus {
 		tracer: trace.NewTracer(0, nil),
 	}
 	b.faults.Store(faultinject.Default())
-	b.routing.Store((&topologyDraft{instances: map[string]*instance{}}).build(1))
+	b.routing.Store((&topologyDraft{instances: map[string]*instance{}, groups: map[string]*groupEntry{}}).build(1))
 	for _, opt := range opts {
 		opt(b)
 	}
@@ -467,6 +467,9 @@ func (b *Bus) AddInstance(spec InstanceSpec) error {
 		if _, dup := d.instances[spec.Name]; dup {
 			return fmt.Errorf("%w: %s", ErrDupInstance, spec.Name)
 		}
+		if _, dup := d.groups[spec.Name]; dup {
+			return fmt.Errorf("%w: %s names a group", ErrDupInstance, spec.Name)
+		}
 		// Resolve telemetry handles once, after validation, off the message
 		// path. On a telemetry-free bus these stay nil and the counters are
 		// no-ops.
@@ -512,6 +515,11 @@ func (b *Bus) DeleteInstance(name string) error {
 	}
 	d := cur.draft()
 	delete(d.instances, name)
+	for gname, ge := range d.groups {
+		if ge.has(name) {
+			d.groups[gname] = ge.without(name)
+		}
+	}
 	kept := d.bindings[:0]
 	for _, bd := range d.bindings {
 		if bd.A.Instance != name && bd.B.Instance != name {
@@ -531,6 +539,75 @@ func (b *Bus) DeleteInstance(name string) error {
 	b.mu.Unlock()
 	b.telem.Unregister("bus.iface." + name + ".")
 	b.emit(Event{Kind: EventDeleteInstance, Instance: name})
+	return nil
+}
+
+// RemoveGroupMember takes an instance out of its group, immediately
+// redistributing its queued traffic to the surviving members — the mark-out
+// step of crash recovery. The ordering guarantees zero message loss under
+// racing senders: the member's receiving queues are fenced at the current
+// epoch first, so a sender that resolved the outgoing member set is refused
+// at the queue and retries via the slow path against the successor snapshot
+// (which no longer lists the member); only then are the fenced queues
+// drained and their messages re-queued across the survivors. With no
+// survivor the messages are left queued at the (fenced) member, where a
+// later queue move — the supervisor's replace transaction — still carries
+// them to the rebuilt replica.
+func (b *Bus) RemoveGroupMember(group, member string) error {
+	b.mu.Lock()
+	cur := b.routing.Load()
+	ge, ok := cur.groups[group]
+	if !ok {
+		b.mu.Unlock()
+		return fmt.Errorf("%w: group %s", ErrNoInstance, group)
+	}
+	if !ge.has(member) {
+		b.mu.Unlock()
+		return fmt.Errorf("bus: group %s has no member %s", group, member)
+	}
+	in := cur.instances[member] // members always exist in their snapshot
+	for _, ifc := range in.ifaces {
+		if ifc.queue != nil {
+			ifc.queue.detach(cur.version)
+		}
+	}
+	d := cur.draft()
+	d.groups[group] = ge.without(member)
+	next := d.build(cur.version + 1)
+	b.routing.Store(next)
+
+	requeued := 0
+	nge := next.groups[group]
+	for ifName, ifc := range in.ifaces {
+		if ifc.queue == nil {
+			continue
+		}
+		orphans := ifc.queue.drain()
+		if len(orphans) == 0 {
+			continue
+		}
+		var survivors []*iface
+		for _, m := range nge.members {
+			if sin, ok := next.instances[m]; ok {
+				if sifc, ok := sin.ifaces[ifName]; ok && sifc.queue != nil {
+					survivors = append(survivors, sifc)
+				}
+			}
+		}
+		if len(survivors) == 0 {
+			ifc.queue.restore(orphans)
+			continue
+		}
+		for i, m := range orphans {
+			if survivors[i%len(survivors)].queue.push(m) == nil {
+				requeued++
+			}
+		}
+	}
+	b.stats.moves.Add(int64(requeued))
+	b.mu.Unlock()
+	b.emit(Event{Kind: EventLeaveGroup, Instance: member,
+		Detail: fmt.Sprintf("group %s (%d msgs requeued)", group, requeued)})
 	return nil
 }
 
@@ -1152,9 +1229,17 @@ func (b *Bus) writeTraced(from Endpoint, data []byte, parent TraceContext) error
 	}
 	var delivered int64
 	for i, t := range rs.targets {
-		switch t.queue.pushRouted(msg, rt.version) {
+		var err error
+		if t.ifc != nil {
+			err = t.ifc.queue.pushRouted(msg, rt.version)
+			if err == nil {
+				t.ifc.delivered.Inc()
+			}
+		} else {
+			err = b.deliverGroup(t.group, msg, rt.version)
+		}
+		switch err {
 		case nil:
-			t.delivered.Inc()
 			delivered++
 		case errStaleRoute:
 			return b.writeSlow(rs.src, from, msg, rs.targets[:i], delivered)
@@ -1197,7 +1282,7 @@ func (b *Bus) writeUnboundErr(from Endpoint) error {
 // not already reached on the fast path. attempted holds the targets the
 // fast path already processed (delivered or dropped-closed); pre counts
 // the fast-path deliveries for the stats.
-func (b *Bus) writeSlow(src *iface, from Endpoint, msg Message, attempted []*iface, pre int64) error {
+func (b *Bus) writeSlow(src *iface, from Endpoint, msg Message, attempted []target, pre int64) error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	rt := b.routing.Load()
@@ -1207,14 +1292,18 @@ func (b *Bus) writeSlow(src *iface, from Endpoint, msg Message, attempted []*ifa
 	targets:
 		for _, t := range rs.targets {
 			for _, done := range attempted {
-				if done == t {
+				if sameTarget(done, t) {
 					continue targets
 				}
 			}
 			// Under b.mu no rebind can fence this queue concurrently, so a
 			// plain push suffices; the route is current by construction.
-			if t.queue.push(msg) == nil {
-				t.delivered.Inc()
+			if t.ifc != nil {
+				if t.ifc.queue.push(msg) == nil {
+					t.ifc.delivered.Inc()
+					delivered++
+				}
+			} else if b.deliverGroupLocked(t.group, msg) == nil {
 				delivered++
 			}
 		}

@@ -24,6 +24,9 @@ const (
 	EventMoveState
 	EventRestoreAck
 	EventRelaunch
+	EventAddGroup
+	EventJoinGroup
+	EventLeaveGroup
 
 	// numEventKinds bounds the enum for exhaustiveness tests; keep it last.
 	numEventKinds
@@ -43,6 +46,9 @@ var eventNames = map[EventKind]string{
 	EventMoveState:      "move-state",
 	EventRestoreAck:     "restore-ack",
 	EventRelaunch:       "relaunch",
+	EventAddGroup:       "add-group",
+	EventJoinGroup:      "join-group",
+	EventLeaveGroup:     "leave-group",
 }
 
 // String names the event kind.

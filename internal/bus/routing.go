@@ -36,20 +36,41 @@ import (
 // sentinel never escapes the package.
 var errStaleRoute = errors.New("bus: route resolved from a stale snapshot")
 
+// target is one delivery destination in a precomputed route set: either a
+// single receiving interface or a replica group the bus load-balances over.
+// Exactly one field is non-nil.
+type target struct {
+	ifc   *iface
+	group *groupRoute
+}
+
+// sameTarget reports whether two targets denote the same destination across
+// snapshots: interface entries are shared between snapshots, and group
+// targets compare by the persistent group identity plus interface name
+// (their groupRoute entries are rebuilt per snapshot).
+func sameTarget(a, c target) bool {
+	if a.ifc != nil || c.ifc != nil {
+		return a.ifc == c.ifc
+	}
+	return a.group.g == c.group.g && a.group.iface == c.group.iface
+}
+
 // routeSet is the precomputed delivery fan-out of one sending endpoint.
 type routeSet struct {
 	src     *iface
-	targets []*iface
+	targets []target
 }
 
 // routingTable is one immutable topology snapshot. Everything reachable
 // from it is either itself immutable (the maps and slices, an instance's
-// interface set) or owns its own fine-grained lock (message queues, the
-// per-instance runtime state). A table is never mutated after publish;
-// version increases by exactly one per published successor.
+// interface set, a group's membership entry) or owns its own fine-grained
+// lock (message queues, the per-instance runtime state). A table is never
+// mutated after publish; version increases by exactly one per published
+// successor.
 type routingTable struct {
 	version   uint64
 	instances map[string]*instance
+	groups    map[string]*groupEntry
 	bindings  []Binding
 
 	// routes maps every *sending* endpoint to its delivery targets,
@@ -71,36 +92,60 @@ func (t *routingTable) lookup(e Endpoint) (*iface, error) {
 	return ifc, nil
 }
 
-// route returns the delivery target when a message written on from is
-// carried by the binding bd: the opposite endpoint, if it receives.
-func (t *routingTable) route(bd Binding, from Endpoint) (Endpoint, bool) {
-	var other Endpoint
+// opposite returns the far side of a binding relative to from, without
+// judging whether it can receive.
+func opposite(bd Binding, from Endpoint) (Endpoint, bool) {
 	switch from {
 	case bd.A:
-		other = bd.B
+		return bd.B, true
 	case bd.B:
-		other = bd.A
+		return bd.A, true
 	default:
 		return Endpoint{}, false
 	}
-	ifc, err := t.lookup(other)
-	if err != nil || !ifc.spec.Dir.Receives() {
+}
+
+// receives reports whether an endpoint can consume messages: an instance
+// interface with a receiving direction, or a receiving group interface.
+func (t *routingTable) receives(e Endpoint) bool {
+	if ge, ok := t.groups[e.Instance]; ok {
+		for _, is := range ge.g.ifaces {
+			if is.Name == e.Interface {
+				return is.Dir.Receives()
+			}
+		}
+		return false
+	}
+	ifc, err := t.lookup(e)
+	return err == nil && ifc.spec.Dir.Receives()
+}
+
+// route returns the delivery target when a message written on from is
+// carried by the binding bd: the opposite endpoint, if it receives.
+func (t *routingTable) route(bd Binding, from Endpoint) (Endpoint, bool) {
+	other, ok := opposite(bd, from)
+	if !ok || !t.receives(other) {
 		return Endpoint{}, false
 	}
 	return other, true
 }
 
 // draft opens a mutable working copy of the table for the editor. Instance
-// objects are shared (their interface sets are immutable and their runtime
-// state is independently locked); only the topology containers are copied.
+// objects and group entries are shared (their interface sets and member
+// lists are immutable; a membership edit replaces the entry); only the
+// topology containers are copied.
 func (t *routingTable) draft() *topologyDraft {
 	insts := make(map[string]*instance, len(t.instances))
 	for name, in := range t.instances {
 		insts[name] = in
 	}
+	groups := make(map[string]*groupEntry, len(t.groups))
+	for name, ge := range t.groups {
+		groups[name] = ge
+	}
 	binds := make([]Binding, len(t.bindings))
 	copy(binds, t.bindings)
-	return &topologyDraft{instances: insts, bindings: binds}
+	return &topologyDraft{instances: insts, groups: groups, bindings: binds}
 }
 
 // topologyDraft is the editor's mutable view between a draft() and a
@@ -110,6 +155,7 @@ func (t *routingTable) draft() *topologyDraft {
 // the previous snapshot simply remains current.
 type topologyDraft struct {
 	instances map[string]*instance
+	groups    map[string]*groupEntry
 	bindings  []Binding
 
 	// events collects the observer events the edits correspond to; the
@@ -119,13 +165,41 @@ type topologyDraft struct {
 }
 
 // build freezes the draft into a published-ready snapshot, precomputing
-// the route sets.
+// the route sets. Group endpoints resolve to shared groupRoute entries so
+// every sender bound to the same group sees one coherent member list; a
+// group member additionally inherits the bindings of its group endpoint,
+// which is what routes a member's replies back along a binding that names
+// the group.
 func (d *topologyDraft) build(version uint64) *routingTable {
 	t := &routingTable{
 		version:   version,
 		instances: d.instances,
+		groups:    d.groups,
 		bindings:  d.bindings,
 		routes:    make(map[Endpoint]routeSet),
+	}
+	groupRoutes := map[Endpoint]*groupRoute{}
+	for gname, ge := range t.groups {
+		for _, is := range ge.g.ifaces {
+			if !is.Dir.Receives() {
+				continue
+			}
+			gr := &groupRoute{g: ge.g, iface: is.Name}
+			for _, m := range ge.members {
+				if in, ok := t.instances[m]; ok {
+					if ifc, ok := in.ifaces[is.Name]; ok && ifc.queue != nil {
+						gr.members = append(gr.members, ifc)
+					}
+				}
+			}
+			groupRoutes[Endpoint{Instance: gname, Interface: is.Name}] = gr
+		}
+	}
+	memberOf := map[string]string{}
+	for gname, ge := range t.groups {
+		for _, m := range ge.members {
+			memberOf[m] = gname
+		}
 	}
 	for name, in := range d.instances {
 		for ifName, ifc := range in.ifaces {
@@ -134,11 +208,24 @@ func (d *topologyDraft) build(version uint64) *routingTable {
 			}
 			from := Endpoint{Instance: name, Interface: ifName}
 			rs := routeSet{src: ifc}
-			for _, bd := range t.bindings {
-				if other, ok := t.route(bd, from); ok {
-					tgt, _ := t.lookup(other)
-					rs.targets = append(rs.targets, tgt)
+			addFor := func(match Endpoint) {
+				for _, bd := range t.bindings {
+					other, ok := opposite(bd, match)
+					if !ok {
+						continue
+					}
+					if gr, isGroup := groupRoutes[other]; isGroup {
+						rs.targets = append(rs.targets, target{group: gr})
+						continue
+					}
+					if tgt, err := t.lookup(other); err == nil && tgt.spec.Dir.Receives() {
+						rs.targets = append(rs.targets, target{ifc: tgt})
+					}
 				}
+			}
+			addFor(from)
+			if g, ok := memberOf[name]; ok {
+				addFor(Endpoint{Instance: g, Interface: ifName})
 			}
 			t.routes[from] = rs
 		}
@@ -158,18 +245,41 @@ func (d *topologyDraft) lookup(e Endpoint) (*iface, error) {
 	return ifc, nil
 }
 
-// addBinding validates and appends a binding, recording the event.
+// endpointDir resolves the direction of a binding endpoint, which may name
+// an instance interface or a group interface.
+func (d *topologyDraft) endpointDir(e Endpoint) (Direction, bool, error) {
+	if ge, ok := d.groups[e.Instance]; ok {
+		for _, is := range ge.g.ifaces {
+			if is.Name == e.Interface {
+				return is.Dir, true, nil
+			}
+		}
+		return 0, true, fmt.Errorf("%w: %s", ErrNoInterface, e)
+	}
+	ifc, err := d.lookup(e)
+	if err != nil {
+		return 0, false, err
+	}
+	return ifc.spec.Dir, false, nil
+}
+
+// addBinding validates and appends a binding, recording the event. Either
+// side may name a replica group, but not both: group-to-group bindings have
+// no sending identity to load-balance from.
 func (d *topologyDraft) addBinding(a, c Endpoint) error {
-	ia, err := d.lookup(a)
+	da, aGroup, err := d.endpointDir(a)
 	if err != nil {
 		return err
 	}
-	ic, err := d.lookup(c)
+	dc, cGroup, err := d.endpointDir(c)
 	if err != nil {
 		return err
 	}
-	if !(ia.spec.Dir.Sends() && ic.spec.Dir.Receives()) && !(ic.spec.Dir.Sends() && ia.spec.Dir.Receives()) {
-		return fmt.Errorf("%w: %s (%s) <-> %s (%s)", ErrDirection, a, ia.spec.Dir, c, ic.spec.Dir)
+	if aGroup && cGroup {
+		return fmt.Errorf("bus: binding %s <-> %s connects two groups", a, c)
+	}
+	if !(da.Sends() && dc.Receives()) && !(dc.Sends() && da.Receives()) {
+		return fmt.Errorf("%w: %s (%s) <-> %s (%s)", ErrDirection, a, da, c, dc)
 	}
 	for _, bd := range d.bindings {
 		if (bd.A == a && bd.B == c) || (bd.A == c && bd.B == a) {

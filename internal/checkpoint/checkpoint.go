@@ -18,6 +18,7 @@ package checkpoint
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/codec"
 	"repro/internal/state"
@@ -43,12 +44,15 @@ type Stats struct {
 	Restores int64
 }
 
-// Checkpointer snapshots a module's state every Interval operations.
+// Checkpointer snapshots a module's state every Interval operations. It is
+// safe for concurrent use: the module thread Ticks while a supervisor reads
+// Latest/Stats or Restores from another goroutine.
 type Checkpointer struct {
 	interval int
 	codec    codec.Codec
 	snapshot Snapshot
 
+	mu        sync.Mutex
 	sinceLast int
 	last      []byte
 	stats     Stats
@@ -73,12 +77,18 @@ func New(interval int, c codec.Codec, snap Snapshot) (*Checkpointer, error) {
 // interval elapses. This is the steady-state cost the paper's approach
 // avoids.
 func (cp *Checkpointer) Tick() error {
+	cp.mu.Lock()
 	cp.stats.Ops++
 	cp.sinceLast++
 	if cp.sinceLast < cp.interval {
+		cp.mu.Unlock()
 		return nil
 	}
 	cp.sinceLast = 0
+	cp.mu.Unlock()
+	// The snapshot runs outside the lock: it calls back into module code,
+	// and the module thread is the only Ticker, so sinceLast cannot race
+	// past the interval while the capture is in flight.
 	st, err := cp.snapshot()
 	if err != nil {
 		return fmt.Errorf("checkpoint: snapshot: %w", err)
@@ -87,34 +97,84 @@ func (cp *Checkpointer) Tick() error {
 	if err != nil {
 		return fmt.Errorf("checkpoint: encode: %w", err)
 	}
+	cp.mu.Lock()
 	cp.last = data
 	cp.stats.Checkpoints++
 	cp.stats.Bytes += int64(len(data))
+	cp.mu.Unlock()
+	return nil
+}
+
+// Checkpoint forces an immediate snapshot, off the interval schedule. The
+// mh runtime takes one at snapshot registration so a replica is recoverable
+// from birth, before its first interval elapses. Like Tick, it must be
+// called from the module thread (the snapshot calls into module code).
+func (cp *Checkpointer) Checkpoint() error {
+	st, err := cp.snapshot()
+	if err != nil {
+		return fmt.Errorf("checkpoint: snapshot: %w", err)
+	}
+	data, err := cp.codec.EncodeState(st)
+	if err != nil {
+		return fmt.Errorf("checkpoint: encode: %w", err)
+	}
+	cp.mu.Lock()
+	cp.last = data
+	cp.sinceLast = 0
+	cp.stats.Checkpoints++
+	cp.stats.Bytes += int64(len(data))
+	cp.mu.Unlock()
 	return nil
 }
 
 // PendingOps reports the operations performed since the last checkpoint —
 // the work a restore loses and must replay.
-func (cp *Checkpointer) PendingOps() int { return cp.sinceLast }
+func (cp *Checkpointer) PendingOps() int {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	return cp.sinceLast
+}
 
 // Restore returns the most recent checkpoint and the number of operations
 // that must be replayed on top of it. The caller re-executes them.
 func (cp *Checkpointer) Restore() (*state.State, int, error) {
-	if cp.last == nil {
+	cp.mu.Lock()
+	last := cp.last
+	replay := cp.sinceLast
+	cp.mu.Unlock()
+	if last == nil {
 		return nil, 0, ErrNoCheckpoint
 	}
-	st, err := cp.codec.DecodeState(cp.last)
+	st, err := cp.codec.DecodeState(last)
 	if err != nil {
 		return nil, 0, fmt.Errorf("checkpoint: decode: %w", err)
 	}
-	replay := cp.sinceLast
+	cp.mu.Lock()
 	cp.stats.Restores++
 	cp.stats.Replayed += int64(replay)
+	cp.mu.Unlock()
 	return st, replay, nil
 }
 
+// Latest returns the newest encoded checkpoint, or nil if none was taken.
+// The supervisor publishes these bytes as the stand-in for a crashed
+// replica's divulged state. The returned slice must not be mutated.
+func (cp *Checkpointer) Latest() []byte {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	return cp.last
+}
+
 // Stats returns a copy of the counters.
-func (cp *Checkpointer) Stats() Stats { return cp.stats }
+func (cp *Checkpointer) Stats() Stats {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	return cp.stats
+}
 
 // LatestSize returns the encoded size of the newest checkpoint (0 if none).
-func (cp *Checkpointer) LatestSize() int { return len(cp.last) }
+func (cp *Checkpointer) LatestSize() int {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	return len(cp.last)
+}

@@ -129,3 +129,41 @@ func TestWorkLostGrowsWithInterval(t *testing.T) {
 		}
 	}
 }
+
+// TestConcurrentTickAndRestore pins the concurrency contract: the module
+// thread Ticks while a supervisor goroutine reads Latest/Stats/PendingOps
+// and Restores. Run under -race (scripts/check.sh does).
+func TestConcurrentTickAndRestore(t *testing.T) {
+	counter := 0
+	cp, err := New(2, codec.Default(), snapOf(&counter))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() { //archlint:spawn test reader goroutine; joined via done channel
+		defer close(done)
+		for i := 0; i < 500; i++ {
+			cp.Latest()
+			cp.LatestSize()
+			cp.Stats()
+			cp.PendingOps()
+			if _, _, err := cp.Restore(); err != nil && !errors.Is(err, ErrNoCheckpoint) {
+				t.Errorf("Restore: %v", err)
+				return
+			}
+		}
+	}()
+	for i := 1; i <= 1000; i++ {
+		counter = i
+		if err := cp.Tick(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	<-done
+	if cp.Latest() == nil {
+		t.Error("no checkpoint after 1000 ticks at interval 2")
+	}
+	if st := cp.Stats(); st.Checkpoints != 500 {
+		t.Errorf("Checkpoints = %d, want 500", st.Checkpoints)
+	}
+}

@@ -11,7 +11,10 @@
 //
 // Sites are plain strings. The sites wired into the runtime are listed in
 // Sites; firing an unknown site is not an error (it simply never triggers),
-// so layers can add sites without coordinating.
+// and Enable stays permissive so tests can arm ad-hoc sites. Parse, the
+// operator-facing entry point behind FAULTPOINTS, is strict: a site that is
+// neither in Sites nor under a registered prefix in SitePrefixes is rejected,
+// so a typo fails fast instead of silently never arming.
 package faultinject
 
 import (
@@ -208,8 +211,12 @@ const EnvVar = "FAULTPOINTS"
 // "bus.rebind=delay:50ms"), and xN caps the firing count
 // ("bus.signal=drop:x2"). Examples:
 //
-//	FAULTPOINTS="launch=error"
-//	FAULTPOINTS="awaitdivulged=error:x1,tcp.dial=delay:100ms"
+//	FAULTPOINTS="reconfig.launch=error"
+//	FAULTPOINTS="bus.awaitdivulged=error:x1,tcp.dial=delay:100ms"
+//
+// Parse rejects site names that are not wired into the runtime — not in
+// Sites and not under any SitePrefixes prefix — so a typo in FAULTPOINTS
+// fails fast instead of arming a point that can never fire.
 func Parse(spec string) (*Set, error) {
 	s := New()
 	spec = strings.TrimSpace(spec)
@@ -256,6 +263,10 @@ func Parse(spec string) (*Set, error) {
 		if p.Action == Delay && p.Delay == 0 {
 			return nil, fmt.Errorf("faultinject: delay without duration in %q", entry)
 		}
+		if !KnownSite(site) {
+			return nil, fmt.Errorf("faultinject: unknown site %q in %q (known sites: %s; prefixes: %s)",
+				site, entry, strings.Join(Sites, ", "), strings.Join(SitePrefixes, ", "))
+		}
 		s.Enable(site, p)
 	}
 	return s, nil
@@ -281,8 +292,32 @@ func Default() *Set {
 	return defaultSet
 }
 
+// KnownSite reports whether site is wired into the runtime: an exact match
+// in Sites, or a non-empty suffix under one of SitePrefixes.
+func KnownSite(site string) bool {
+	for _, s := range Sites {
+		if site == s {
+			return true
+		}
+	}
+	for _, p := range SitePrefixes {
+		if strings.HasPrefix(site, p) && len(site) > len(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// SitePrefixes lists families of per-instance sites: the runtime fires
+// "<prefix><instance>" so a fault can target one replica by name (e.g.
+// "replica.crash.worker.2=error:x1" kills that replica's next loop
+// iteration). Parse accepts any site under a prefix.
+var SitePrefixes = []string{
+	"replica.crash.", // a replicated module's crash point, fired at loop top
+}
+
 // Sites wired into the runtime, for reference and for the operator docs.
-// (The list is informational; arming other strings is harmless.)
+// (The list is informational for Enable; Parse validates against it.)
 var Sites = []string{
 	"bus.addinstance",    // registering an instance (add_obj)
 	"bus.attach",         // claiming an instance's runtime slot / launch

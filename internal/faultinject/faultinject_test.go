@@ -98,42 +98,67 @@ func TestDisableAndArmed(t *testing.T) {
 }
 
 func TestParse(t *testing.T) {
-	s, err := Parse("a=error, b=drop:x2 ,c=delay:5ms,d=error:x1")
+	s, err := Parse("reconfig.launch=error, bus.signal=drop:x2 ,tcp.dial=delay:5ms,bus.divulge=error:x1")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if got := s.Armed(); len(got) != 4 {
 		t.Fatalf("armed = %v", got)
 	}
-	if err := s.Fire("a"); !errors.Is(err, ErrInjected) {
-		t.Errorf("a = %v", err)
+	if err := s.Fire("reconfig.launch"); !errors.Is(err, ErrInjected) {
+		t.Errorf("reconfig.launch = %v", err)
 	}
-	if err := s.Fire("b"); !errors.Is(err, ErrDropped) {
-		t.Errorf("b = %v", err)
+	if err := s.Fire("bus.signal"); !errors.Is(err, ErrDropped) {
+		t.Errorf("bus.signal = %v", err)
 	}
-	if err := s.Fire("c"); err != nil {
-		t.Errorf("c = %v", err)
+	if err := s.Fire("tcp.dial"); err != nil {
+		t.Errorf("tcp.dial = %v", err)
 	}
-	s.Fire("d")
-	if err := s.Fire("d"); err != nil {
-		t.Errorf("d should be exhausted after x1: %v", err)
+	s.Fire("bus.divulge")
+	if err := s.Fire("bus.divulge"); err != nil {
+		t.Errorf("bus.divulge should be exhausted after x1: %v", err)
 	}
 
 	if s, err := Parse(""); err != nil || len(s.Armed()) != 0 {
 		t.Errorf("empty spec: %v %v", s, err)
 	}
-	for _, bad := range []string{
-		"noequals",
-		"=error",
-		"a=frobnicate",
-		"a=delay",        // no duration
-		"a=delay:bogus",  // bad duration
-		"a=error:x0",     // bad count
-		"a=error:xhello", // bad count
-	} {
-		if _, err := Parse(bad); err == nil {
-			t.Errorf("Parse(%q) accepted", bad)
+}
+
+func TestParseRejectsMalformedAndUnknown(t *testing.T) {
+	tests := []struct {
+		spec string
+		why  string
+	}{
+		{"noequals", "missing ="},
+		{"=error", "empty site"},
+		{"bus.signal=frobnicate", "unknown action"},
+		{"bus.signal=delay", "delay without duration"},
+		{"bus.signal=delay:bogus", "bad duration"},
+		{"bus.signal=error:x0", "zero count"},
+		{"bus.signal=error:xhello", "non-numeric count"},
+		{"bus.sginal=error", "typoed site"},
+		{"nosuchsite=error", "unknown site"},
+		{"launch=error", "bare suffix of a known site"},
+		{"replica.crash.=error", "prefix with empty instance"},
+		{"bus.signal=drop,nosuchsite=error", "unknown site later in list"},
+	}
+	for _, tc := range tests {
+		if _, err := Parse(tc.spec); err == nil {
+			t.Errorf("Parse(%q) accepted (%s)", tc.spec, tc.why)
 		}
+	}
+}
+
+func TestParseAcceptsPrefixSites(t *testing.T) {
+	s, err := Parse("replica.crash.worker.2=error:x1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Fire("replica.crash.worker.2"); !errors.Is(err, ErrInjected) {
+		t.Errorf("prefix site did not fire: %v", err)
+	}
+	if !KnownSite("replica.crash.w") || KnownSite("replica.crash.") || KnownSite("replica.crash") {
+		t.Error("KnownSite prefix matching is off")
 	}
 }
 

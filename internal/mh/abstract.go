@@ -32,6 +32,7 @@ func (r *Runtime) ReadAbstract(iface string) (state.Value, bool) {
 		r.record(fmt.Errorf("mh: decode message on %s: %w", iface, err))
 		return state.Value{}, false
 	}
+	r.tickOp()
 	return v, true
 }
 
@@ -49,7 +50,9 @@ func (r *Runtime) WriteAbstract(iface string, v state.Value) {
 			return
 		}
 		r.record(fmt.Errorf("mh: write %s: %w", iface, err))
+		return
 	}
+	r.tickOp()
 }
 
 // CaptureAbstract appends one frame with named abstract variables.

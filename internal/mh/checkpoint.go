@@ -1,0 +1,92 @@
+package mh
+
+import (
+	"fmt"
+
+	"repro/internal/checkpoint"
+)
+
+// This file wires the checkpointing baseline (internal/checkpoint) into the
+// participation runtime for *replicated* modules. The paper's Discussion
+// rejects periodic checkpointing for planned reconfiguration — the capture
+// cost should be paid only when a reconfiguration happens — but a crash is
+// not planned: a dead replica can divulge nothing, so the supervisor rebuilds
+// it from the newest periodic checkpoint instead. The runtime charges the
+// capture every interval operations and publishes the encoded bytes to a
+// sink; the supervisor keeps the latest per replica as the stand-in for
+// divulged state.
+
+// CheckpointSink receives each newly taken checkpoint: the replica's instance
+// name and the encoded abstract state. Called on the module's own thread
+// right after the snapshot is taken; implementations must not block on the
+// module (store-and-return, like the supervisor's).
+type CheckpointSink func(instance string, encoded []byte)
+
+// WithCheckpoint arms periodic abstract-state checkpointing: once the module
+// registers its snapshot function (RegisterSnapshot), every interval
+// communication operations the runtime captures the abstract state, encodes
+// it, and hands the bytes to sink. interval <= 0 leaves checkpointing off.
+func WithCheckpoint(interval int, sink CheckpointSink) Option {
+	return func(r *Runtime) {
+		r.cpInterval = interval
+		r.cpSink = sink
+	}
+}
+
+// RegisterSnapshot supplies the module's abstract-state renderer and starts
+// the operation counter. The snapshot runs on the module thread between
+// operations, so it may read module state without synchronization. A no-op
+// unless the runtime was built WithCheckpoint.
+func (r *Runtime) RegisterSnapshot(snap checkpoint.Snapshot) {
+	if r.cpInterval <= 0 {
+		return
+	}
+	cp, err := checkpoint.New(r.cpInterval, r.codec, snap)
+	if err != nil {
+		r.record(fmt.Errorf("mh: checkpoint: %w", err))
+		return
+	}
+	r.cp = cp
+	// Baseline checkpoint at registration: a replica is recoverable from
+	// birth, not only after its first interval elapses.
+	if err := cp.Checkpoint(); err != nil {
+		r.record(err)
+		return
+	}
+	if r.cpSink != nil {
+		if data := cp.Latest(); data != nil {
+			r.cpSink(r.port.Name(), data)
+		}
+	}
+}
+
+// Checkpointer exposes the runtime's checkpointer (nil unless WithCheckpoint
+// and RegisterSnapshot both happened), for stats and direct Restore.
+func (r *Runtime) Checkpointer() *checkpoint.Checkpointer { return r.cp }
+
+// Ops returns the number of communication operations the module has
+// completed. It is safe to read from other goroutines: the supervisor's
+// failure detector treats an advancing counter as a heartbeat and a stalled
+// one (with queued input) as a wedged replica.
+func (r *Runtime) Ops() int64 { return r.ops.Load() }
+
+// tickOp records one completed communication operation: advances the
+// heartbeat counter and, when checkpointing is armed, charges the periodic
+// capture and publishes any newly taken checkpoint to the sink.
+func (r *Runtime) tickOp() {
+	r.ops.Add(1)
+	if r.cp == nil {
+		return
+	}
+	if err := r.cp.Tick(); err != nil {
+		r.record(err)
+		return
+	}
+	// Only the module thread ticks, so PendingOps()==0 here means Tick just
+	// took a checkpoint (the counter resets only at capture).
+	if r.cpSink != nil && r.cp.PendingOps() == 0 {
+		if data := r.cp.Latest(); data != nil {
+			r.cpSink(r.port.Name(), data)
+		}
+	}
+}

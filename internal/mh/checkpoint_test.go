@@ -1,0 +1,126 @@
+package mh
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/bus"
+	"repro/internal/state"
+)
+
+func TestCheckpointEveryKOpsPublishesToSink(t *testing.T) {
+	b := newMonitorBus(t)
+	var mu sync.Mutex
+	var published [][]byte
+	var fromInstance string
+	sink := func(instance string, encoded []byte) {
+		mu.Lock()
+		defer mu.Unlock()
+		fromInstance = instance
+		published = append(published, encoded)
+	}
+	rt := attachRT(t, b, "compute", WithCheckpoint(4, sink))
+	counter := 0
+	rt.RegisterSnapshot(func() (*state.State, error) {
+		st := state.New("compute")
+		st.PushFrame(state.Frame{Func: "main", Location: 1,
+			Vars: []state.Var{{Name: "counter", Value: state.IntValue(int64(counter))}}})
+		return st, nil
+	})
+	display, err := b.Attach("display")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A baseline checkpoint publishes at registration, then 10 operations at
+	// interval 4 → checkpoints after ops 4 and 8.
+	for i := 0; i < 10; i++ {
+		counter = i
+		rt.Write("display", float64(i))
+	}
+	if err := rt.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if got := rt.Ops(); got != 10 {
+		t.Errorf("Ops() = %d, want 10", got)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(published) != 3 {
+		t.Fatalf("published %d checkpoints, want 3 (baseline + ops 4 and 8)", len(published))
+	}
+	if fromInstance != "compute" {
+		t.Errorf("sink saw instance %q", fromInstance)
+	}
+	// The second checkpoint decodes back to the state at op 8 (counter=7).
+	st, replay, err := rt.Checkpointer().Restore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replay != 2 {
+		t.Errorf("replay = %d, want 2 (ops 9,10 after the op-8 checkpoint)", replay)
+	}
+	if st.Frames[0].Vars[0].Value.Int != 7 {
+		t.Errorf("restored counter = %d, want 7", st.Frames[0].Vars[0].Value.Int)
+	}
+	// Drain what the module wrote so the queue test below is meaningful.
+	for i := 0; i < 10; i++ {
+		if _, err := display.Read("temper"); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestCheckpointOffWithoutOption(t *testing.T) {
+	b := newMonitorBus(t)
+	rt := attachRT(t, b, "compute")
+	rt.RegisterSnapshot(func() (*state.State, error) { return state.New("compute"), nil })
+	if rt.Checkpointer() != nil {
+		t.Error("checkpointer armed without WithCheckpoint")
+	}
+	display, err := b.Attach("display")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := display.Write("temper", []byte(`{"k":"int","v":3}`)); err != nil {
+		t.Fatal(err)
+	}
+	var n int
+	rt.Read("display", &n)
+	if got := rt.Ops(); got != 1 {
+		t.Errorf("Ops() = %d, want 1 (Read counts)", got)
+	}
+}
+
+func TestOpsHeartbeatReadableConcurrently(t *testing.T) {
+	b := newMonitorBus(t)
+	rt := attachRT(t, b, "compute", WithCheckpoint(2, nil))
+	rt.RegisterSnapshot(func() (*state.State, error) {
+		st := state.New("compute")
+		st.PushFrame(state.Frame{Func: "main", Location: 1})
+		return st, nil
+	})
+	done := make(chan struct{})
+	var last int64
+	go func() { //archlint:spawn test heartbeat reader; joined via done channel
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			v := rt.Ops()
+			if v < last {
+				t.Errorf("Ops went backwards: %d -> %d", last, v)
+				return
+			}
+			last = v
+		}
+	}()
+	for i := 0; i < 100; i++ {
+		rt.Write("display", float64(i))
+	}
+	<-done
+	if err := rt.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if bus.StatusAdd != rt.Status() {
+		t.Errorf("status = %q", rt.Status())
+	}
+}

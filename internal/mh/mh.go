@@ -25,9 +25,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/bus"
+	"repro/internal/checkpoint"
 	"repro/internal/codec"
 	"repro/internal/state"
 	"repro/internal/telemetry"
@@ -116,6 +118,14 @@ type Runtime struct {
 	captureStart time.Time
 	restoreStart time.Time
 
+	// Replication support: ops is the heartbeat counter the supervisor's
+	// failure detector reads (hence atomic); the checkpointer periodically
+	// captures abstract state for crash recovery (see checkpoint.go).
+	ops        atomic.Int64
+	cp         *checkpoint.Checkpointer
+	cpInterval int
+	cpSink     CheckpointSink
+
 	// Causal-tracing carry-through: the runtime remembers the trace context
 	// of the last message it read and hands it back to the bus on the next
 	// write, so the causal chain crosses the module without the module's
@@ -194,6 +204,10 @@ func (r *Runtime) Init() {
 // Status returns "add" or "clone" (mh_getstatus).
 func (r *Runtime) Status() string { return r.port.Status() }
 
+// Name returns the attached instance's name. Native modules of a replicated
+// instance use it to learn which member they are.
+func (r *Runtime) Name() string { return r.port.Name() }
+
 // InstallSignalHandler (re-)enables reconfiguration signal polling. The
 // generated restore block for a reconfiguration edge calls this, mirroring
 // Figure 4's signal(SIGHUP, mh_catchreconfig) after mh_restoring=0.
@@ -240,6 +254,7 @@ func (r *Runtime) Read(iface string, ptrs ...any) {
 	}
 	r.msgCtx = m.Trace
 	r.decodeInto(iface, m.Data, ptrs)
+	r.tickOp()
 }
 
 // TraceContext returns the causal context of the last message this runtime
@@ -295,7 +310,9 @@ func (r *Runtime) Write(iface string, vals ...any) {
 			return
 		}
 		r.record(fmt.Errorf("mh: write %s: %w", iface, err))
+		return
 	}
+	r.tickOp()
 }
 
 func packValues(vals []any) (state.Value, error) {

@@ -111,15 +111,31 @@ func (m *Module) Point(label string) *ReconfigPoint {
 // Reconfigurable reports whether the module declares reconfiguration points.
 func (m *Module) Reconfigurable() bool { return len(m.ReconfigPoints) > 0 }
 
+// Load-balancing policies a replicated instance may declare. The bus picks
+// a live replica per message: round-robin rotates; least-queue routes to
+// the member with the shallowest receive queue.
+const (
+	PolicyRoundRobin = "roundrobin"
+	PolicyLeastQueue = "leastqueue"
+)
+
 // Instance places a module in an application. Name defaults to the module
 // name ("instance compute"); "instance compute as c2 on \"machineB\"" names
-// it and pins a machine.
+// it and pins a machine. "replicas 3" turns the instance into a replica
+// group: bindings to its name fan in to a group endpoint load-balanced
+// across the replicas ("policy leastqueue" selects the strategy; default
+// round-robin). Replicas 0 and 1 both mean an ordinary single instance.
 type Instance struct {
-	Pos     Pos
-	Name    string
-	Module  string
-	Machine string
+	Pos      Pos
+	Name     string
+	Module   string
+	Machine  string
+	Replicas int
+	Policy   string
 }
+
+// Replicated reports whether the instance declares a replica group.
+func (in *Instance) Replicated() bool { return in.Replicas > 1 }
 
 // Endpoint names one side of a binding as "instance interface".
 type Endpoint struct {

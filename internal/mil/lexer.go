@@ -133,6 +133,12 @@ func (l *lexer) next() (token, error) {
 			l.advance()
 		}
 		return token{kind: tokIdent, text: l.src[start:l.off], pos: pos}, nil
+	case unicode.IsDigit(rune(c)):
+		start := l.off
+		for l.off < len(l.src) && unicode.IsDigit(rune(l.peek())) {
+			l.advance()
+		}
+		return token{kind: tokNumber, text: l.src[start:l.off], pos: pos}, nil
 	default:
 		return token{}, errAt(pos, "unexpected character %q", string(rune(c)))
 	}

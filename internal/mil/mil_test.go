@@ -487,3 +487,68 @@ module app { instance ghost :: bind "nope out" "ghost in" }`
 		t.Errorf("Error() = %q", err.Error())
 	}
 }
+
+func TestInstanceReplicasAndPolicy(t *testing.T) {
+	src := `
+module w { source = "w" :: define interface out pattern = {integer} :: use interface in pattern = {integer} :: }
+module app {
+  instance w as pool replicas 3 policy leastqueue
+  instance w as feeder
+  bind "feeder out" "pool in"
+}`
+	spec, err := ParseAndValidate(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := spec.Application("app").Instance("pool")
+	if pool.Replicas != 3 || pool.Policy != PolicyLeastQueue || !pool.Replicated() {
+		t.Errorf("pool = %+v", pool)
+	}
+	feeder := spec.Application("app").Instance("feeder")
+	if feeder.Replicas != 0 || feeder.Policy != "" || feeder.Replicated() {
+		t.Errorf("feeder = %+v", feeder)
+	}
+
+	// replicas 1 is a valid degenerate declaration: a plain instance.
+	src1 := `
+module w { source = "w" :: define interface out pattern = {integer} :: use interface in pattern = {integer} :: }
+module app { instance w replicas 1 }`
+	spec1, err := ParseAndValidate(src1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in := spec1.Application("app").Instance("w"); in.Replicated() {
+		t.Errorf("replicas 1 counted as replicated: %+v", in)
+	}
+
+	// Round-trip: Print must render replicas/policy and reparse equal.
+	printed := Print(spec)
+	spec2, err := ParseAndValidate(printed)
+	if err != nil {
+		t.Fatalf("reparse of %q: %v", printed, err)
+	}
+	if !reflect.DeepEqual(stripPositions(spec2), stripPositions(spec)) {
+		t.Errorf("round trip changed spec:\n%s", printed)
+	}
+}
+
+func TestValidateReplicaErrors(t *testing.T) {
+	header := `module w { source = "w" :: define interface out pattern = {integer} :: use interface in pattern = {integer} :: }`
+	tests := []struct {
+		name string
+		app  string
+	}{
+		{"unknown policy", `module app { instance w replicas 2 policy fastest }`},
+		{"policy without replicas", `module app { instance w policy roundrobin }`},
+		{"policy with replicas 1", `module app { instance w replicas 1 policy roundrobin }`},
+	}
+	for _, tc := range tests {
+		if _, err := ParseAndValidate(header + "\n" + tc.app); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+	// Parse-level: replicas needs a number.
+	if _, err := Parse(header + "\nmodule app { instance w replicas many }"); err == nil {
+		t.Error("non-numeric replica count accepted")
+	}
+}

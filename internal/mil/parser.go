@@ -1,5 +1,7 @@
 package mil
 
+import "strconv"
+
 // Parse parses a configuration specification.
 func Parse(src string) (*Spec, error) {
 	toks, err := lexAll(src)
@@ -361,6 +363,24 @@ func (p *parser) parseInstance() (*Instance, error) {
 				return nil, errAt(mTok.pos, "expected machine name, found %q", mTok.text)
 			}
 			inst.Machine = mTok.text
+		case "replicas":
+			p.next()
+			nTok, err := p.expect(tokNumber)
+			if err != nil {
+				return nil, err
+			}
+			n, err := strconv.Atoi(nTok.text)
+			if err != nil {
+				return nil, errAt(nTok.pos, "bad replica count %q", nTok.text)
+			}
+			inst.Replicas = n
+		case "policy":
+			p.next()
+			polTok, err := p.expect(tokIdent)
+			if err != nil {
+				return nil, err
+			}
+			inst.Policy = polTok.text
 		default:
 			return inst, nil
 		}

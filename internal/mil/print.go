@@ -74,6 +74,12 @@ func printApplication(b *strings.Builder, a *Application) {
 		if in.Machine != "" {
 			fmt.Fprintf(b, " on %q", in.Machine)
 		}
+		if in.Replicas != 0 {
+			fmt.Fprintf(b, " replicas %d", in.Replicas)
+		}
+		if in.Policy != "" {
+			fmt.Fprintf(b, " policy %s", in.Policy)
+		}
 		b.WriteByte('\n')
 	}
 	for _, bd := range a.Binds {

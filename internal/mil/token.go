@@ -39,6 +39,7 @@ type tokenKind int
 const (
 	tokEOF tokenKind = iota + 1
 	tokIdent
+	tokNumber
 	tokString
 	tokLBrace
 	tokRBrace
@@ -55,6 +56,8 @@ func (k tokenKind) String() string {
 		return "end of input"
 	case tokIdent:
 		return "identifier"
+	case tokNumber:
+		return "number"
 	case tokString:
 		return "string"
 	case tokLBrace:

@@ -134,6 +134,20 @@ func validateApplication(spec *Spec, a *Application, add func(error)) {
 		// Record the instance even when its module is unknown so its
 		// bindings don't cascade into spurious unknown-instance errors.
 		instByName[in.Name] = in
+		if in.Replicas < 0 {
+			add(errAt(in.Pos, "application %s instance %s: replicas %d < 0",
+				a.Name, in.Name, in.Replicas))
+		}
+		switch in.Policy {
+		case "", PolicyRoundRobin, PolicyLeastQueue:
+		default:
+			add(errAt(in.Pos, "application %s instance %s: unknown policy %q (want %s or %s)",
+				a.Name, in.Name, in.Policy, PolicyRoundRobin, PolicyLeastQueue))
+		}
+		if in.Policy != "" && !in.Replicated() {
+			add(errAt(in.Pos, "application %s instance %s: policy %q without replicas >= 2",
+				a.Name, in.Name, in.Policy))
+		}
 	}
 	for _, b := range a.Binds {
 		fromIfc := resolveEndpoint(spec, a, instByName, b.From, b.Pos, add)

@@ -264,6 +264,27 @@ func (p *Primitives) DrainQueue(e bus.Endpoint) (int, error) {
 	return n, nil
 }
 
+// JoinGroup admits an instance into a replica group — one copy-on-write
+// snapshot publish; racing senders keep the old member set until it lands.
+func (p *Primitives) JoinGroup(group, member string) error {
+	if err := p.bus.AddGroupMember(group, member); err != nil {
+		return fmt.Errorf("reconfig: join_group %s %s: %w", group, member, err)
+	}
+	p.log("join_group %s %s", group, member)
+	return nil
+}
+
+// LeaveGroup revokes an instance's group membership, fencing its queues and
+// redistributing its backlog to the surviving members. The supervisor runs
+// it the moment a member is detected dead, before any rebuild.
+func (p *Primitives) LeaveGroup(group, member string) error {
+	if err := p.bus.RemoveGroupMember(group, member); err != nil {
+		return fmt.Errorf("reconfig: leave_group %s %s: %w", group, member, err)
+	}
+	p.log("leave_group %s %s", group, member)
+	return nil
+}
+
 // ChgObj changes an instance's lifecycle (mh_chg_obj): "add" starts the
 // module via the launcher, "del" removes it from the bus.
 func (p *Primitives) ChgObj(launcher Launcher, name, op string) error {

@@ -1,0 +1,385 @@
+package reconfig
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/bus"
+	"repro/internal/codec"
+	"repro/internal/mh"
+	"repro/internal/state"
+)
+
+// replicaWorld is the supervisor test harness: a 3-member replica group
+// "pool" of accumulator workers between a source and a sink, with host-side
+// kill/wedge switches standing in for real crashes.
+type replicaWorld struct {
+	t   *testing.T
+	b   *bus.Bus
+	p   *Primitives
+	sup *Supervisor
+	c   codec.Codec
+	src bus.Port
+	snk bus.Port
+
+	mu          sync.Mutex
+	killed      map[string]bool
+	wedged      map[string]bool
+	failRestore bool // clones die before confirming their restoration
+	now         time.Time
+}
+
+func newReplicaWorld(t *testing.T) *replicaWorld {
+	t.Helper()
+	b := bus.New()
+	w := &replicaWorld{
+		t: t, b: b, p: NewPrimitives(b), c: codec.Default(),
+		killed: map[string]bool{}, wedged: map[string]bool{},
+		now: time.Unix(1000, 0),
+	}
+	shape := []bus.IfaceSpec{{Name: "in", Dir: bus.In}, {Name: "out", Dir: bus.Out}}
+	if err := b.AddGroup("pool", bus.PolicyRoundRobin, shape); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []string{"pool.1", "pool.2", "pool.3"} {
+		if err := b.AddInstance(bus.InstanceSpec{Name: m, Module: "worker", Interfaces: shape}); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.AddGroupMember("pool", m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.AddInstance(bus.InstanceSpec{Name: "src", Interfaces: []bus.IfaceSpec{{Name: "out", Dir: bus.Out}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddInstance(bus.InstanceSpec{Name: "snk", Interfaces: []bus.IfaceSpec{{Name: "in", Dir: bus.In}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddBinding(bus.Endpoint{Instance: "src", Interface: "out"}, bus.Endpoint{Instance: "pool", Interface: "in"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddBinding(bus.Endpoint{Instance: "pool", Interface: "out"}, bus.Endpoint{Instance: "snk", Interface: "in"}); err != nil {
+		t.Fatal(err)
+	}
+	sup, err := NewSupervisor(w.p, w, SupervisorConfig{
+		Group:      "pool",
+		StallAfter: 100 * time.Millisecond,
+		Timeouts:   Timeouts{RestoreAck: 2 * time.Second},
+		Now:        w.clock,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.sup = sup
+	for _, m := range []string{"pool.1", "pool.2", "pool.3"} {
+		if err := w.Launch(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.src, err = b.Attach("src"); err != nil {
+		t.Fatal(err)
+	}
+	if w.snk, err = b.Attach("snk"); err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func (w *replicaWorld) clock() time.Time {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.now
+}
+
+func (w *replicaWorld) advance(d time.Duration) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.now = w.now.Add(d)
+}
+
+func (w *replicaWorld) flag(m map[string]bool, name string) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return m[name]
+}
+
+func (w *replicaWorld) setFlag(m map[string]bool, name string, v bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	m[name] = v
+}
+
+// Launch implements Launcher: each worker is an accumulator that checkpoints
+// every 2 operations into the supervisor.
+func (w *replicaWorld) Launch(name string) error {
+	port, err := w.b.Attach(name)
+	if err != nil {
+		return err
+	}
+	rt := mh.New(port,
+		mh.WithSleepUnit(time.Microsecond),
+		mh.WithLogWriter(nil),
+		mh.WithCheckpoint(2, w.sup.Checkpoint))
+	w.sup.RegisterHeartbeat(name, rt.Ops)
+	go func() { //archlint:spawn test replica worker; exits on kill switch or instance delete
+		w.runWorker(name, rt)
+	}()
+	return nil
+}
+
+func (w *replicaWorld) runWorker(name string, rt *mh.Runtime) {
+	killed := false
+	mh.Run(func() {
+		rt.Init()
+		var sum, loc int
+		if rt.Status() == bus.StatusClone {
+			if w.failRestoring() {
+				return // crash before confirming restoration
+			}
+			rt.Decode()
+			rt.Restore("main", "", &loc, &sum)
+			rt.FinishRestore()
+		}
+		rt.RegisterSnapshot(func() (*state.State, error) {
+			st := state.New(name)
+			st.PushFrame(state.Frame{Func: "main", Location: 1,
+				Vars: []state.Var{{Name: "sum", Value: state.IntValue(int64(sum))}}})
+			return st, nil
+		})
+		for {
+			if w.flag(w.killed, name) {
+				killed = true
+				return
+			}
+			if w.flag(w.wedged, name) {
+				rt.Sleep(1) // alive but consuming nothing: a stall
+				continue
+			}
+			if rt.QueryIfMsgs("in") {
+				var n int
+				rt.Read("in", &n)
+				sum += n
+				rt.Write("out", sum)
+			} else {
+				rt.Sleep(1)
+			}
+		}
+	})
+	// A clone that died before confirming must still unblock the
+	// coordinator's restore wait.
+	rt.ConfirmRestoreOutcome(errors.New("worker exited before restoring"))
+	if killed {
+		w.sup.ReportExit(name, errors.New("killed"))
+	}
+}
+
+func (w *replicaWorld) failRestoring() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.failRestore
+}
+
+func (w *replicaWorld) send(n int) {
+	w.t.Helper()
+	data, err := w.c.EncodeValue(state.IntValue(int64(n)))
+	if err != nil {
+		w.t.Fatal(err)
+	}
+	if err := w.src.Write("out", data); err != nil {
+		w.t.Fatal(err)
+	}
+}
+
+// awaitSink blocks until the sink has received n more messages.
+func (w *replicaWorld) awaitSink(n int) {
+	w.t.Helper()
+	for i := 0; i < n; i++ {
+		if _, err := w.snk.Read("in"); err != nil {
+			w.t.Fatal(err)
+		}
+	}
+}
+
+// waitFor polls cond (interleaved with supervisor polls) until it holds.
+func (w *replicaWorld) waitFor(what string, cond func() bool) {
+	w.t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		w.sup.Poll()
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	w.t.Fatalf("timed out waiting for %s (stats %+v, members %v)", what, w.sup.Stats(), w.members())
+}
+
+func (w *replicaWorld) members() []string {
+	ms, err := w.b.GroupMembers("pool")
+	if err != nil {
+		w.t.Fatal(err)
+	}
+	return ms
+}
+
+func TestSupervisorHealsCrashedReplica(t *testing.T) {
+	w := newReplicaWorld(t)
+	for i := 1; i <= 9; i++ {
+		w.send(i)
+	}
+	w.awaitSink(9) // every member has processed and checkpointed
+	w.setFlag(w.killed, "pool.2", true)
+	w.waitFor("crash recovery", func() bool { return w.sup.Stats().Recovered == 1 })
+
+	ms := w.members()
+	if len(ms) != 3 {
+		t.Fatalf("members after heal = %v", ms)
+	}
+	for _, m := range ms {
+		if m == "pool.2" {
+			t.Fatal("dead member still in group")
+		}
+	}
+	// The group keeps answering traffic through the healed set.
+	for i := 0; i < 6; i++ {
+		w.send(1)
+	}
+	w.awaitSink(6)
+	st := w.sup.Status()
+	if st.Policy != bus.PolicyRoundRobin || len(st.Members) != 3 || len(st.Pending) != 0 {
+		t.Errorf("status = %+v", st)
+	}
+	if st.Stats.Failed != 0 {
+		t.Errorf("unexpected failed rebuilds: %+v", st.Stats)
+	}
+}
+
+func TestSupervisorFlappingDoesNotOverlapTransactions(t *testing.T) {
+	w := newReplicaWorld(t)
+	for i := 1; i <= 6; i++ {
+		w.send(i)
+	}
+	w.awaitSink(6)
+
+	// An operator reconfiguration is in flight: the supervisor's rebuild
+	// must be refused (ErrReconfigBusy) and retried, never overlapped.
+	w.p.txMu.Lock()
+	w.setFlag(w.killed, "pool.1", true)
+	w.waitFor("mark-out", func() bool { return len(w.members()) == 2 })
+	// Duplicate crash reports for a member already being handled are inert.
+	w.sup.ReportExit("pool.1", errors.New("flap"))
+	w.sup.ReportExit("pool.1", errors.New("flap again"))
+
+	w.waitFor("busy retries", func() bool { return w.sup.Stats().RetriesBusy >= 2 })
+	st := w.sup.Stats()
+	if st.Detected != 1 {
+		t.Errorf("Detected = %d, want 1 (flap reports deduplicated)", st.Detected)
+	}
+	if st.Recovered != 0 {
+		t.Error("rebuild committed while another reconfiguration held the lock")
+	}
+	// No clone instance leaked from the refused attempts.
+	for _, name := range w.b.Instances() {
+		if name != "pool.2" && name != "pool.3" && name != "pool.1" && name != "src" && name != "snk" {
+			t.Errorf("leaked instance %s", name)
+		}
+	}
+
+	w.p.txMu.Unlock()
+	w.waitFor("recovery after release", func() bool { return w.sup.Stats().Recovered == 1 })
+	if ms := w.members(); len(ms) != 3 {
+		t.Fatalf("members = %v", ms)
+	}
+	for i := 0; i < 6; i++ {
+		w.send(1)
+	}
+	w.awaitSink(6)
+}
+
+func TestSupervisorStallDetectionFakeClock(t *testing.T) {
+	w := newReplicaWorld(t)
+	for i := 1; i <= 6; i++ {
+		w.send(i)
+	}
+	w.awaitSink(6)
+
+	// Baseline poll: records every member's heartbeat at t0.
+	w.sup.Poll()
+	if got := w.sup.Stats().Detected; got != 0 {
+		t.Fatalf("false positive before stall: Detected = %d", got)
+	}
+
+	// Wedge pool.3: its goroutine stays alive but consumes nothing, so its
+	// share of the round-robin fan-in backs up.
+	w.setFlag(w.wedged, "pool.3", true)
+	for i := 0; i < 12; i++ {
+		w.send(1)
+	}
+	// The survivors drain their 8 before the next poll, so only the wedged
+	// member shows a still counter with queued input.
+	w.awaitSink(8)
+	// Inside the stall window nothing is declared dead yet.
+	w.advance(50 * time.Millisecond)
+	w.sup.Poll()
+	if got := w.sup.Stats().Detected; got != 0 {
+		t.Fatalf("stall declared inside the window: Detected = %d", got)
+	}
+	// Past the window the wedged member (stalled counter + queued input)
+	// is marked out and rebuilt; idle-but-healthy members are not.
+	w.advance(200 * time.Millisecond)
+	w.waitFor("stall recovery", func() bool { return w.sup.Stats().Recovered == 1 })
+	for _, m := range w.members() {
+		if m == "pool.3" {
+			t.Fatal("wedged member still in group")
+		}
+	}
+	if got := w.sup.Stats().Detected; got != 1 {
+		t.Errorf("Detected = %d, want 1", got)
+	}
+	// No message was lost: the wedged member's backlog drained to the
+	// survivors at mark-out.
+	w.awaitSink(4)
+}
+
+func TestSupervisorReplicaDyingDuringRecoveryConverges(t *testing.T) {
+	w := newReplicaWorld(t)
+	for i := 1; i <= 6; i++ {
+		w.send(i)
+	}
+	w.awaitSink(6)
+
+	w.mu.Lock()
+	w.failRestore = true
+	w.mu.Unlock()
+	w.setFlag(w.killed, "pool.2", true)
+	w.waitFor("failed rebuild", func() bool { return w.sup.Stats().Failed >= 1 })
+	if len(w.members()) != 2 {
+		t.Fatalf("members during failed recovery = %v", w.members())
+	}
+	if w.sup.Stats().Recovered != 0 {
+		t.Fatal("recovery reported success while clones were dying")
+	}
+
+	// The fault clears; the next poll's attempt (fresh generation name)
+	// converges back to 3 members.
+	w.mu.Lock()
+	w.failRestore = false
+	w.mu.Unlock()
+	w.waitFor("convergence", func() bool { return w.sup.Stats().Recovered == 1 })
+	if ms := w.members(); len(ms) != 3 {
+		t.Fatalf("members = %v", ms)
+	}
+	st := w.sup.Status()
+	if len(st.Pending) != 0 {
+		t.Errorf("pending after convergence: %v", st.Pending)
+	}
+	if st.Stats.LastError != "" {
+		t.Errorf("LastError not cleared: %q", st.Stats.LastError)
+	}
+	for i := 0; i < 6; i++ {
+		w.send(1)
+	}
+	w.awaitSink(6)
+}

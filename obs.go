@@ -23,6 +23,8 @@ import (
 //	/traces      the flight recorder's retained delivery spans, as JSON
 //	/trace/{id}  one causal chain ("tx-0001" renders a transaction's span
 //	             timeline; a numeric ID returns that message trace's spans)
+//	/replicas    every supervised replica group: live members with heartbeat
+//	             and backlog, corpses awaiting rebuild, supervision counters
 type ObsServer struct {
 	srv *http.Server
 	l   net.Listener
@@ -37,6 +39,7 @@ func (a *App) ServeObs(l net.Listener) *ObsServer {
 	mux.HandleFunc("/readyz", a.handleHealth)
 	mux.HandleFunc("/traces", a.handleTraces)
 	mux.HandleFunc("/trace/", a.handleTrace)
+	mux.HandleFunc("/replicas", a.handleReplicas)
 	srv := &http.Server{Handler: mux}
 	go func() { _ = srv.Serve(l) }() //archlint:spawn HTTP server; exits when srv.Close is called
 	return &ObsServer{srv: srv, l: l}
@@ -122,6 +125,10 @@ func (a *App) handleTrace(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, map[string]any{"trace_id": n, "spans": spans})
+}
+
+func (a *App) handleReplicas(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, a.ReplicaSets())
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

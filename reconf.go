@@ -95,6 +95,18 @@ type Config struct {
 	// TraceBuffer is the flight recorder's capacity in spans (default 4096;
 	// meaningful only with TraceSample > 0).
 	TraceBuffer int
+	// CheckpointInterval is how many communication operations a replicated
+	// member performs between abstract-state checkpoints (default 16).
+	// Smaller intervals shorten recovery replay at a higher steady-state
+	// cost — the tradeoff the paper's Discussion weighs.
+	CheckpointInterval int
+	// SupervisorPoll is the replica supervisor's detection period
+	// (default 50ms).
+	SupervisorPoll time.Duration
+	// StallAfter is how long a replica's operation counter may sit still
+	// with input queued before the supervisor declares it wedged
+	// (default 3x SupervisorPoll).
+	StallAfter time.Duration
 }
 
 // Mode aliases, so callers need not import internal packages.
@@ -137,6 +149,11 @@ type App struct {
 	modules   map[string]*PreparedModule
 	instances map[string]*runningInstance
 	instMod   map[string]string // instance -> module name
+
+	// sups holds one self-healing supervisor per replicated MIL instance,
+	// keyed by group (= MIL instance) name; started in Start, stopped in
+	// Stop.
+	sups map[string]*reconfig.Supervisor
 }
 
 // Load parses and validates the specification, prepares every module that
@@ -168,6 +185,12 @@ func Load(cfg Config) (*App, error) {
 	if cfg.TraceSample > 0 {
 		msgTracer = trace.NewTracer(cfg.TraceSample, trace.NewRecorder(cfg.TraceBuffer))
 	}
+	if cfg.CheckpointInterval <= 0 {
+		cfg.CheckpointInterval = 16
+	}
+	if cfg.SupervisorPoll <= 0 {
+		cfg.SupervisorPoll = 50 * time.Millisecond
+	}
 	a := &App{
 		Spec:        spec,
 		Application: appSpec,
@@ -176,6 +199,7 @@ func Load(cfg Config) (*App, error) {
 		modules:     map[string]*PreparedModule{},
 		instances:   map[string]*runningInstance{},
 		instMod:     map[string]string{},
+		sups:        map[string]*reconfig.Supervisor{},
 	}
 	a.prims = reconfig.NewPrimitives(a.bus)
 
@@ -187,7 +211,10 @@ func Load(cfg Config) (*App, error) {
 		a.modules[m.Name] = pm
 	}
 
-	// Materialize instances and bindings.
+	// Materialize instances and bindings. A `replicas N` instance becomes a
+	// replica group carrying the MIL instance's name — bindings that name it
+	// fan in to the members, named <name>.1 .. <name>.N — plus a supervisor
+	// that heals member crashes (started in Start).
 	for _, inst := range appSpec.Instances {
 		m := spec.Module(inst.Module)
 		machine := inst.Machine
@@ -196,6 +223,40 @@ func Load(cfg Config) (*App, error) {
 		}
 		if machine == "" {
 			machine = "machineA"
+		}
+		if inst.Replicated() {
+			ifaces := InterfacesOf(m)
+			if err := a.bus.AddGroup(inst.Name, inst.Policy, ifaces); err != nil {
+				return nil, err
+			}
+			for i := 1; i <= inst.Replicas; i++ {
+				member := fmt.Sprintf("%s.%d", inst.Name, i)
+				if err := a.bus.AddInstance(bus.InstanceSpec{
+					Name:       member,
+					Module:     m.Name,
+					Machine:    machine,
+					Status:     bus.StatusAdd,
+					Interfaces: ifaces,
+					Attrs:      m.Attrs,
+				}); err != nil {
+					return nil, err
+				}
+				if err := a.bus.AddGroupMember(inst.Name, member); err != nil {
+					return nil, err
+				}
+				a.instMod[member] = m.Name
+			}
+			sup, err := reconfig.NewSupervisor(a.prims, a, reconfig.SupervisorConfig{
+				Group:        inst.Name,
+				PollInterval: cfg.SupervisorPoll,
+				StallAfter:   cfg.StallAfter,
+				Timeouts:     cfg.Timeouts,
+			})
+			if err != nil {
+				return nil, err
+			}
+			a.sups[inst.Name] = sup
+			continue
 		}
 		if err := a.bus.AddInstance(bus.InstanceSpec{
 			Name:       inst.Name,
@@ -356,12 +417,20 @@ func (a *App) Launch(instance string) error {
 	if err != nil {
 		return fmt.Errorf("reconf: launch %s: %w", instance, err)
 	}
-	rt := mh.New(port,
+	opts := []mh.Option{
 		mh.WithSleepUnit(a.cfg.SleepUnit),
 		mh.WithCodec(a.cfg.Codec),
 		mh.WithStateTimeout(a.cfg.StateTimeout),
 		mh.WithTelemetry(a.bus.Telemetry()),
-	)
+	}
+	sup := a.supervisorFor(instance)
+	if sup != nil {
+		opts = append(opts, mh.WithCheckpoint(a.cfg.CheckpointInterval, sup.Checkpoint))
+	}
+	rt := mh.New(port, opts...)
+	if sup != nil {
+		sup.RegisterHeartbeat(instance, rt.Ops)
+	}
 	ri := &runningInstance{name: instance, rt: rt, done: make(chan error, 1)}
 	a.mu.Lock()
 	a.instances[instance] = ri
@@ -370,16 +439,40 @@ func (a *App) Launch(instance string) error {
 	if pm.Native != nil {
 		go func() { //archlint:spawn native instance body; reports exit on ri.done
 			mh.Run(func() { pm.Native(rt) })
-			ri.done <- a.finishInstance(rt, nil)
+			ri.done <- a.reportExit(sup, instance, a.finishInstance(rt, nil))
 		}()
 		return nil
 	}
 	in := interp.New(pm.Prog, pm.Info, rt)
 	go func() { //archlint:spawn interpreted instance body; reports exit on ri.done
 		_, err := in.Run()
-		ri.done <- a.finishInstance(rt, err)
+		ri.done <- a.reportExit(sup, instance, a.finishInstance(rt, err))
 	}()
 	return nil
+}
+
+// supervisorFor resolves the supervisor responsible for an instance. Group
+// members — the originals from Load and every healed generation — are named
+// <group>.<n>, so membership is a name-prefix question.
+func (a *App) supervisorFor(instance string) *reconfig.Supervisor {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for group, sup := range a.sups {
+		if strings.HasPrefix(instance, group+".") {
+			return sup
+		}
+	}
+	return nil
+}
+
+// reportExit forwards a supervised member's exit to its supervisor. The
+// supervisor ignores reports for instances no longer in the group (planned
+// deletions, members already marked out), so every exit can be reported.
+func (a *App) reportExit(sup *reconfig.Supervisor, instance string, err error) error {
+	if sup != nil {
+		sup.ReportExit(instance, err)
+	}
+	return err
 }
 
 // finishInstance folds a module body's exit into its instance status and —
@@ -409,12 +502,25 @@ func instanceErr(rt *mh.Runtime, runErr error) error {
 	return nil
 }
 
-// Start launches every instance of the application.
+// Start launches every instance of the application — the members
+// <name>.1 .. <name>.N for a replicated instance — and then arms the
+// self-healing supervisors.
 func (a *App) Start() error {
 	for _, inst := range a.Application.Instances {
+		if inst.Replicated() {
+			for i := 1; i <= inst.Replicas; i++ {
+				if err := a.Launch(fmt.Sprintf("%s.%d", inst.Name, i)); err != nil {
+					return err
+				}
+			}
+			continue
+		}
 		if err := a.Launch(inst.Name); err != nil {
 			return err
 		}
+	}
+	for _, sup := range a.sups {
+		sup.Start()
 	}
 	return nil
 }
@@ -520,9 +626,13 @@ func (a *App) Remove(inst string) error {
 	return reconfig.Remove(a.prims, inst)
 }
 
-// Stop deletes every live instance and waits for their runtimes to wind
-// down.
+// Stop halts the supervisors (so planned teardown is not misread as a
+// crash wave), deletes every live instance and waits for their runtimes to
+// wind down.
 func (a *App) Stop() {
+	for _, sup := range a.sups {
+		sup.Stop()
+	}
 	for _, name := range a.bus.Instances() {
 		_ = a.bus.DeleteInstance(name)
 	}
@@ -560,6 +670,33 @@ func (a *App) Topology() string {
 	sort.Strings(bstrs)
 	lines = append(lines, bstrs...)
 	return strings.Join(lines, "\n")
+}
+
+// Supervisor returns the self-healing supervisor of a replicated instance
+// (the MIL instance name doubles as the group name), or nil.
+func (a *App) Supervisor(group string) *reconfig.Supervisor {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.sups[group]
+}
+
+// ReplicaSets snapshots every supervised replica group — members with
+// heartbeat and backlog, corpses awaiting rebuild, supervision counters —
+// sorted by group name. Served over HTTP as /replicas and by the control
+// plane's "replicas" op.
+func (a *App) ReplicaSets() []reconfig.ReplicaSetStatus {
+	a.mu.Lock()
+	sups := make([]*reconfig.Supervisor, 0, len(a.sups))
+	for _, sup := range a.sups {
+		sups = append(sups, sup)
+	}
+	a.mu.Unlock()
+	out := make([]reconfig.ReplicaSetStatus, 0, len(sups))
+	for _, sup := range sups {
+		out = append(out, sup.Status())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Group < out[j].Group })
+	return out
 }
 
 // Trace returns the reconfiguration primitive audit trail.

@@ -47,4 +47,12 @@ RECONFIG_TRACE_OVERHEAD_JSON="$PWD/BENCH_trace_overhead.json" \
 	go test -run TestTraceOverheadArtifact -count=1 .
 cat BENCH_trace_overhead.json
 
+echo "== selfheal chaos matrix (replicas 3, 16 senders, crash-triggered rebuilds, racy)"
+go test -run 'TestSelfHeal|TestReplicasObservability' -race -count=1 .
+
+echo "== selfheal recovery artifact (checkpoint interval vs recovery time)"
+RECONFIG_SELFHEAL_JSON="$PWD/BENCH_selfheal_recovery.json" \
+	go test -race -run TestSelfHealRecoveryArtifact -count=1 .
+cat BENCH_selfheal_recovery.json
+
 echo "ok"

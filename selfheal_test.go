@@ -1,0 +1,487 @@
+package reconf
+
+// Chaos suite for the self-healing replica layer: a `replicas 3` worker pool
+// between 16 feeders and a collector, with crashes injected through
+// internal/faultinject while the feeders keep sending. The acceptance
+// criteria under test: zero message loss (a dead member's fenced backlog
+// redistributes to survivors within one routing epoch), the supervisor
+// restores N=3 from the periodic checkpoints, and recovery time is bounded
+// (emitted as BENCH_selfheal_recovery.json by the artifact test).
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/bus"
+	"repro/internal/codec"
+	"repro/internal/faultinject"
+	"repro/internal/mh"
+	"repro/internal/state"
+)
+
+const chaosSenders = 16
+
+// chaosSpec builds a MIL specification with chaosSenders feeder instances
+// fanning in to one replicated worker pool that feeds a collector.
+func chaosSpec(policy string) string {
+	var sb strings.Builder
+	sb.WriteString(`
+module feeder {
+  source = "./feeder" ::
+  define interface out pattern = {integer} ::
+}
+
+module worker {
+  source = "./worker" ::
+  use interface in pattern = {integer} ::
+  define interface out pattern = {integer} ::
+}
+
+module collector {
+  source = "./collector" ::
+  use interface in pattern = {integer} ::
+}
+
+module chaos {
+`)
+	for i := 0; i < chaosSenders; i++ {
+		fmt.Fprintf(&sb, "  instance feeder as feeder%d\n", i)
+	}
+	fmt.Fprintf(&sb, "  instance worker as pool replicas 3 policy %s\n", policy)
+	sb.WriteString("  instance collector\n")
+	for i := 0; i < chaosSenders; i++ {
+		fmt.Fprintf(&sb, "  bind \"feeder%d out\" \"pool in\"\n", i)
+	}
+	sb.WriteString("  bind \"pool out\" \"collector in\"\n}\n")
+	return sb.String()
+}
+
+// chaosHarness wires the chaos application: the worker module is native and
+// consults a faultpoint at the top of every loop iteration, so a test can
+// kill any member deterministically. The crash site sits before Read — an
+// injected crash never loses a consumed-but-unanswered message, mirroring a
+// process that dies between transactions rather than inside one.
+type chaosHarness struct {
+	t       *testing.T
+	app     *App
+	faults  *faultinject.Set
+	c       codec.Codec
+	feeders []bus.Port
+	coll    bus.Port
+}
+
+func newChaosHarness(t *testing.T, policy string, checkpointInterval int) *chaosHarness {
+	t.Helper()
+	return newChaosHarnessOpts(t, policy, checkpointInterval, true)
+}
+
+// newChaosHarnessOpts optionally leaves the supervisor's poll loop stopped,
+// so a test can observe the crash-report mark-out (which runs in the dying
+// member's exit path) without a racing rebuild.
+func newChaosHarnessOpts(t *testing.T, policy string, checkpointInterval int, startSup bool) *chaosHarness {
+	t.Helper()
+	h := &chaosHarness{t: t, faults: faultinject.New(), c: codec.Default()}
+
+	worker := func(rt *mh.Runtime) {
+		rt.Init()
+		var processed, loc int
+		if rt.Status() == bus.StatusClone {
+			rt.Decode()
+			rt.Restore("main", "", &loc, &processed)
+			rt.FinishRestore()
+		}
+		rt.RegisterSnapshot(func() (*state.State, error) {
+			st := state.New(rt.Name())
+			st.PushFrame(state.Frame{Func: "main", Location: 1,
+				Vars: []state.Var{{Name: "processed", Value: state.IntValue(int64(processed))}}})
+			return st, nil
+		})
+		site := "replica.crash." + rt.Name()
+		for {
+			if h.faults.Fire(site) != nil {
+				return // injected crash: the goroutine just dies
+			}
+			if rt.QueryIfMsgs("in") {
+				var n int
+				rt.Read("in", &n)
+				processed++
+				rt.Write("out", n)
+			} else {
+				rt.Sleep(1)
+			}
+		}
+	}
+
+	app, err := Load(Config{
+		SpecText: chaosSpec(policy),
+		Native: map[string]NativeModule{
+			"worker":    worker,
+			"feeder":    func(rt *mh.Runtime) {}, // driven by the test
+			"collector": func(rt *mh.Runtime) {},
+		},
+		SleepUnit:          time.Microsecond,
+		CheckpointInterval: checkpointInterval,
+		SupervisorPoll:     2 * time.Millisecond,
+		StallAfter:         10 * time.Second, // crash reports drive this suite, not stall detection
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.app = app
+	t.Cleanup(app.Stop)
+	app.Bus().SetFaults(h.faults)
+
+	// Launch only the pool members (the feeders and collector are driven
+	// directly), then arm the supervisor.
+	for i := 1; i <= 3; i++ {
+		if err := app.Launch(fmt.Sprintf("pool.%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sup := app.Supervisor("pool")
+	if sup == nil {
+		t.Fatal("no supervisor for pool")
+	}
+	if startSup {
+		sup.Start()
+	}
+
+	for i := 0; i < chaosSenders; i++ {
+		p, err := app.AttachDriver(fmt.Sprintf("feeder%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.feeders = append(h.feeders, p)
+	}
+	if h.coll, err = app.AttachDriver("collector"); err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func (h *chaosHarness) waitUntil(what string, timeout time.Duration, cond func() bool) {
+	h.t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	h.t.Fatalf("timed out waiting for %s (stats %+v)", what, h.app.Supervisor("pool").Stats())
+}
+
+// run drives the chaos scenario: 16 senders push perSender sequence-tagged
+// messages while kills replicas are crashed one after another, each given
+// time to recover before the next. Returns the per-kill recovery durations
+// (detection to committed rebuild, wall clock).
+func (h *chaosHarness) run(perSender, kills int) []time.Duration {
+	h.t.Helper()
+	total := chaosSenders * perSender
+	sup := h.app.Supervisor("pool")
+
+	// Collector drain: every message carries a unique id; receipt must be
+	// exactly-once.
+	received := make(chan int, total)
+	go func() { //archlint:spawn test collector drain; exits when the collector port closes or all ids arrive
+		for i := 0; i < total; i++ {
+			m, err := h.coll.Read("in")
+			if err != nil {
+				return
+			}
+			v, err := h.c.DecodeValue(m.Data)
+			if err != nil {
+				return
+			}
+			received <- int(v.Int)
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for s := 0; s < chaosSenders; s++ {
+		wg.Add(1)
+		go func(s int) { //archlint:spawn test sender; exits after perSender writes, joined via wg
+			defer wg.Done()
+			for k := 0; k < perSender; k++ {
+				data, err := h.c.EncodeValue(state.IntValue(int64(s*perSender + k)))
+				if err != nil {
+					h.t.Error(err)
+					return
+				}
+				if err := h.feeders[s].Write("out", data); err != nil {
+					h.t.Error(err)
+					return
+				}
+				time.Sleep(300 * time.Microsecond)
+			}
+		}(s)
+	}
+
+	// Kill one live member at a time under load; wait for each rebuild to
+	// commit before the next kill so the group never drops below 2.
+	recoveries := make([]time.Duration, 0, kills)
+	for k := 0; k < kills; k++ {
+		st := sup.Status()
+		if len(st.Members) == 0 {
+			h.t.Fatal("no live members to kill")
+		}
+		victim := st.Members[k%len(st.Members)].Name
+		base := sup.Stats().Recovered
+		start := time.Now()
+		h.faults.Enable("replica.crash."+victim, faultinject.Point{Action: faultinject.Error, Count: 1})
+		h.waitUntil(fmt.Sprintf("recovery of %s", victim), 15*time.Second,
+			func() bool { return sup.Stats().Recovered > base })
+		recoveries = append(recoveries, time.Since(start))
+	}
+	wg.Wait()
+
+	// Zero loss, zero duplication: every id arrives exactly once.
+	seen := make(map[int]bool, total)
+	deadline := time.NewTimer(15 * time.Second)
+	defer deadline.Stop()
+	for len(seen) < total {
+		select {
+		case id := <-received:
+			if seen[id] {
+				h.t.Fatalf("id %d delivered twice", id)
+			}
+			seen[id] = true
+		case <-deadline.C:
+			h.t.Fatalf("lost %d of %d messages after %d kills (stats %+v)",
+				total-len(seen), total, kills, sup.Stats())
+		}
+	}
+
+	st := sup.Status()
+	if len(st.Members) != 3 {
+		h.t.Fatalf("group not restored to 3 members: %+v", st)
+	}
+	if len(st.Pending) != 0 {
+		h.t.Fatalf("corpses still pending after recovery: %v", st.Pending)
+	}
+	if got := sup.Stats().Recovered; got != int64(kills) {
+		h.t.Fatalf("Recovered = %d, want %d", got, kills)
+	}
+	return recoveries
+}
+
+// TestSelfHealChaosKillUnderLoad is the chaos matrix: for each balancing
+// policy, crash 3 replicas (one at a time) under sustained 16-sender load
+// and require zero loss, zero duplication, and a group healed back to N=3.
+// scripts/check.sh runs it under -race.
+func TestSelfHealChaosKillUnderLoad(t *testing.T) {
+	for _, policy := range []string{bus.PolicyRoundRobin, bus.PolicyLeastQueue} {
+		t.Run(policy, func(t *testing.T) {
+			h := newChaosHarness(t, policy, 4)
+			h.run(50, 3)
+		})
+	}
+}
+
+// TestSelfHealSurvivorsAbsorbWithinOneEpoch pins the mark-out granularity:
+// a crash report fences and redistributes the dead member's backlog in
+// exactly one routing-snapshot publish, and the survivors answer traffic
+// alone before any rebuild has run.
+func TestSelfHealSurvivorsAbsorbWithinOneEpoch(t *testing.T) {
+	// Supervisor poll loop off: mark-out runs in the dying member's exit
+	// path, so it is observable without a racing rebuild.
+	h := newChaosHarnessOpts(t, bus.PolicyRoundRobin, 4, false)
+	sup := h.app.Supervisor("pool")
+
+	send := func(n int) {
+		t.Helper()
+		for i := 0; i < n; i++ {
+			data, err := h.c.EncodeValue(state.IntValue(int64(i)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := h.feeders[0].Write("out", data); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	recv := func(n int) {
+		t.Helper()
+		for i := 0; i < n; i++ {
+			if _, err := h.coll.Read("in"); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	// Warm up so every member has checkpointed at least once.
+	send(24)
+	recv(24)
+
+	epochBefore := h.app.Bus().Stats().SnapshotVersion
+	h.faults.Enable("replica.crash.pool.1", faultinject.Point{Action: faultinject.Error, Count: 1})
+	h.waitUntil("mark-out", 10*time.Second, func() bool { return len(sup.Status().Members) == 2 })
+	epochAfter := h.app.Bus().Stats().SnapshotVersion
+	if epochAfter != epochBefore+1 {
+		t.Errorf("mark-out took %d routing epochs, want 1", epochAfter-epochBefore)
+	}
+
+	// Survivors answer traffic alone; nothing has been rebuilt yet.
+	send(20)
+	recv(20)
+	if got := sup.Stats().Recovered; got != 0 {
+		t.Fatalf("rebuild ran without the poll loop (Recovered = %d)", got)
+	}
+
+	// Now let the supervisor heal.
+	sup.Start()
+	h.waitUntil("recovery", 10*time.Second, func() bool { return sup.Stats().Recovered == 1 })
+}
+
+// TestReplicasObservability exercises the two operator surfaces of the
+// supervisor: the /replicas HTTP endpoint and the control plane's
+// "replicas" op, after a heal (so the healed generation is visible).
+func TestReplicasObservability(t *testing.T) {
+	h := newChaosHarness(t, bus.PolicyLeastQueue, 4)
+	sup := h.app.Supervisor("pool")
+	h.faults.Enable("replica.crash.pool.2", faultinject.Point{Action: faultinject.Error, Count: 1})
+	h.waitUntil("heal", 10*time.Second, func() bool { return sup.Stats().Recovered == 1 })
+
+	decode := func(doc string) []map[string]any {
+		var sets []map[string]any
+		if err := json.Unmarshal([]byte(doc), &sets); err != nil {
+			t.Fatalf("bad replicas document: %v\n%s", err, doc)
+		}
+		return sets
+	}
+	check := func(surface, doc string) {
+		sets := decode(doc)
+		if len(sets) != 1 {
+			t.Fatalf("%s: %d replica sets, want 1", surface, len(sets))
+		}
+		set := sets[0]
+		if set["group"] != "pool" || set["policy"] != bus.PolicyLeastQueue {
+			t.Errorf("%s: group/policy = %v/%v", surface, set["group"], set["policy"])
+		}
+		members, _ := set["members"].([]any)
+		if len(members) != 3 {
+			t.Errorf("%s: %d members, want 3", surface, len(members))
+		}
+		names := make([]string, 0, len(members))
+		for _, m := range members {
+			names = append(names, m.(map[string]any)["name"].(string))
+		}
+		sort.Strings(names)
+		if strings.Join(names, " ") != "pool.1 pool.3 pool.4" {
+			t.Errorf("%s: members = %v", surface, names)
+		}
+	}
+
+	base := serveObs(t, h.app)
+	code, body := httpGet(t, base+"/replicas")
+	if code != 200 {
+		t.Fatalf("/replicas: status %d", code)
+	}
+	check("/replicas", body)
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := h.app.ServeControl(l)
+	defer srv.Close()
+	c, err := DialControl(srv.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	doc, err := c.Replicas()
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("control replicas", doc)
+}
+
+// TestSelfHealRecoveryArtifact measures crash-to-recovered latency at three
+// checkpoint intervals and writes BENCH_selfheal_recovery.json — the
+// measured side of the paper's Discussion claim that checkpointing for
+// reconfiguration is a continuous cost traded against recovery time. Gated
+// on RECONFIG_SELFHEAL_JSON (scripts/check.sh sets it).
+func TestSelfHealRecoveryArtifact(t *testing.T) {
+	out := os.Getenv("RECONFIG_SELFHEAL_JSON")
+	if out == "" {
+		t.Skip("set RECONFIG_SELFHEAL_JSON=<path> to emit the recovery artifact")
+	}
+	const perSender, kills = 40, 4
+	quantile := func(ms []float64, q float64) float64 {
+		idx := int(math.Ceil(q*float64(len(ms)))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(ms) {
+			idx = len(ms) - 1
+		}
+		return ms[idx]
+	}
+	intervals := []int{2, 8, 32}
+	byInterval := map[string]any{}
+	for _, interval := range intervals {
+		h := newChaosHarness(t, bus.PolicyRoundRobin, interval)
+		recov := h.run(perSender, kills)
+		ms := make([]float64, 0, len(recov))
+		var sum float64
+		for _, d := range recov {
+			v := float64(d.Microseconds()) / 1000.0
+			ms = append(ms, v)
+			sum += v
+		}
+		sort.Float64s(ms)
+		// The steady-state side of the tradeoff: captures charged and bytes
+		// encoded across the surviving members, against the same workload.
+		var checkpoints, bytes, ops int64
+		for _, m := range h.app.Supervisor("pool").Status().Members {
+			rt := h.app.Runtime(m.Name)
+			if rt == nil || rt.Checkpointer() == nil {
+				continue
+			}
+			cs := rt.Checkpointer().Stats()
+			checkpoints += cs.Checkpoints
+			bytes += cs.Bytes
+			ops += cs.Ops
+		}
+		byInterval[fmt.Sprintf("checkpoint_every_%d_ops", interval)] = map[string]any{
+			"recovery_min_ms":   ms[0],
+			"recovery_p50_ms":   quantile(ms, 0.50),
+			"recovery_p99_ms":   quantile(ms, 0.99),
+			"recovery_max_ms":   ms[len(ms)-1],
+			"recovery_mean_ms":  sum / float64(len(ms)),
+			"checkpoints_taken": checkpoints,
+			"checkpoint_bytes":  bytes,
+			"ops_observed":      ops,
+		}
+		h.app.Stop()
+	}
+	report := map[string]any{
+		"benchmark":     "selfheal_recovery",
+		"replicas":      3,
+		"senders":       chaosSenders,
+		"messages":      chaosSenders * perSender,
+		"kills":         kills,
+		"policy":        bus.PolicyRoundRobin,
+		"lost":          0, // h.run fails the test on any loss or duplication
+		"by_interval":   byInterval,
+		"sleep_unit":    "1us",
+		"poll_interval": "2ms",
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", out)
+}
