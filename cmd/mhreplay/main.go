@@ -1,0 +1,149 @@
+// Command mhreplay replays a recorded message window offline: it reads a
+// record spill file written by a bus with recording enabled (polybus
+// -record N -record-spill file, or Config.RecordSpill), re-runs the
+// window against one instance's module in-process — driving it through
+// the mh runtime on a virtual clock — and reports whether the replayed
+// output sequence reproduces the recorded one byte-for-byte.
+//
+//	mhreplay -log run.rec -spec app.mil -srcdir ./modules -inst filter
+//	mhreplay -log run.rec -canon
+//
+// With -canon the recorded window is printed in its canonical
+// deterministic form (per-queue delivery logs, trace and timing fields
+// excluded) instead of being replayed — the exact rendering the
+// determinism gate compares across runs.
+//
+// Only modules with module-language sources can be replayed offline;
+// native (in-process Go) modules exist only inside their host binary.
+// The command exits 0 when the replay reproduces the recording, 1 on
+// divergence, 2 on usage or load errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro"
+	"repro/internal/replay"
+)
+
+func main() {
+	code, err := run(os.Args[1:])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mhreplay:", err)
+	}
+	os.Exit(code)
+}
+
+func run(args []string) (int, error) {
+	fs := flag.NewFlagSet("mhreplay", flag.ContinueOnError)
+	var (
+		logFile   = fs.String("log", "", "record spill file (required)")
+		canon     = fs.Bool("canon", false, "print the canonical per-queue log and exit")
+		specFile  = fs.String("spec", "", "configuration specification (required unless -canon)")
+		srcDir    = fs.String("srcdir", "", "directory of per-module source directories (required unless -canon)")
+		appName   = fs.String("app", "", "application name (default: the sole one)")
+		inst      = fs.String("inst", "", "instance to replay (required unless -canon)")
+		timeout   = fs.Duration("timeout", 30*time.Second, "bound on the replay run")
+		jsonOut   = fs.Bool("json", false, "print the full report as JSON")
+		sleepUnit = fs.Duration("sleepunit", time.Millisecond, "sleep unit for module preparation (replay itself runs on a virtual clock)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2, err
+	}
+	if *logFile == "" {
+		return 2, fmt.Errorf("-log is required")
+	}
+	recs, err := replay.ReadLogFile(*logFile)
+	if err != nil {
+		return 2, err
+	}
+	if *canon {
+		fmt.Print(replay.Canonical(recs))
+		return 0, nil
+	}
+	if *specFile == "" || *srcDir == "" || *inst == "" {
+		return 2, fmt.Errorf("-spec, -srcdir and -inst are required (or use -canon)")
+	}
+	specText, err := os.ReadFile(*specFile)
+	if err != nil {
+		return 2, err
+	}
+	cfg := reconf.Config{
+		SpecText:    string(specText),
+		Application: *appName,
+		Sources:     map[string]reconf.ModuleSource{},
+		SleepUnit:   *sleepUnit,
+	}
+	cfg.Timeouts.StateMove = *timeout
+	entries, err := os.ReadDir(*srcDir)
+	if err != nil {
+		return 2, err
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		files, err := readModuleDir(filepath.Join(*srcDir, e.Name()))
+		if err != nil {
+			return 2, err
+		}
+		if len(files) > 0 {
+			cfg.Sources[e.Name()] = reconf.ModuleSource{Files: files}
+		}
+	}
+	app, err := reconf.Load(cfg)
+	if err != nil {
+		return 2, err
+	}
+	defer app.Stop()
+
+	rep, err := app.ReplayRecorded(*inst, recs)
+	if err != nil {
+		return 2, err
+	}
+	if *jsonOut {
+		data, _ := json.MarshalIndent(rep, "", "  ")
+		fmt.Println(string(data))
+	} else {
+		fmt.Printf("replayed %s (module %s): %d recorded inputs, %d consumed, %d outputs (recorded %d)\n",
+			rep.Instance, rep.Module, rep.Window, rep.Consumed, rep.Replayed, rep.Expected)
+		if rep.Err != "" {
+			fmt.Println("termination:", rep.Err)
+		}
+	}
+	if !rep.Match {
+		if rep.Divergence != nil {
+			fmt.Println("DIVERGED:", rep.Divergence)
+		} else {
+			fmt.Println("DIVERGED")
+		}
+		return 1, nil
+	}
+	fmt.Println("reproduced: replayed output sequence matches the recording")
+	return 0, nil
+}
+
+func readModuleDir(dir string) (map[string]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	files := map[string]string{}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		files[e.Name()] = string(data)
+	}
+	return files, nil
+}

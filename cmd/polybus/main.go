@@ -8,6 +8,7 @@
 //	polybus -spec app.mil -srcdir ./modules [-app name] \
 //	        [-listen 127.0.0.1:7007] [-control 127.0.0.1:7008] \
 //	        [-obs-addr 127.0.0.1:7009] [-trace-sample 100] \
+//	        [-record 4096] [-record-spill run.rec] [-preflight] \
 //	        [-duration 30s] [-sleepunit 10ms]
 //
 // Module sources are read from <srcdir>/<module>/*.go. Modules without a
@@ -48,6 +49,9 @@ func run(args []string) error {
 		obsAddr    = fs.String("obs-addr", "", "HTTP address for /metrics, /healthz, /traces")
 		traceSmpl  = fs.Int("trace-sample", 0, "sample 1-in-N message traces into the flight recorder (0 = off)")
 		traceBuf   = fs.Int("trace-buffer", 0, "flight recorder capacity in spans (0 = default)")
+		recordBuf  = fs.Int("record", 0, "record every delivered message into a ring of this capacity (0 = off)")
+		recordFile = fs.String("record-spill", "", "also spill every record to this file (requires -record)")
+		preflight  = fs.Bool("preflight", false, "gate replacements on a replay of the recorded window (requires -record)")
 		duration   = fs.Duration("duration", 0, "run time (0 = until interrupted)")
 		sleepUnit  = fs.Duration("sleepunit", 10*time.Millisecond, "duration of one mh.Sleep tick")
 	)
@@ -63,12 +67,25 @@ func run(args []string) error {
 	}
 
 	cfg := reconf.Config{
-		SpecText:    string(specText),
-		Application: *appName,
-		Sources:     map[string]reconf.ModuleSource{},
-		SleepUnit:   *sleepUnit,
-		TraceSample: *traceSmpl,
-		TraceBuffer: *traceBuf,
+		SpecText:        string(specText),
+		Application:     *appName,
+		Sources:         map[string]reconf.ModuleSource{},
+		SleepUnit:       *sleepUnit,
+		TraceSample:     *traceSmpl,
+		TraceBuffer:     *traceBuf,
+		RecordBuffer:    *recordBuf,
+		PreflightReplay: *preflight,
+	}
+	if *recordFile != "" {
+		if *recordBuf <= 0 {
+			return fmt.Errorf("-record-spill requires -record")
+		}
+		spill, err := os.Create(*recordFile)
+		if err != nil {
+			return err
+		}
+		defer spill.Close()
+		cfg.RecordSpill = spill
 	}
 	entries, err := os.ReadDir(*srcDir)
 	if err != nil {
@@ -93,6 +110,9 @@ func run(args []string) error {
 	}
 	fmt.Println("application:", app.Application.Name)
 	fmt.Println(app.Topology())
+	if rec := app.Recorder(); rec != nil {
+		fmt.Printf("recording: ring capacity %d, preflight replay %v\n", rec.Cap(), *preflight)
+	}
 
 	// Launch local instances; instances whose module has no local source
 	// wait for a remote attachment.

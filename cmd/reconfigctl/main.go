@@ -11,6 +11,8 @@
 //	reconfigctl -addr 127.0.0.1:7008 trace [txid]
 //	reconfigctl -addr 127.0.0.1:7008 stats
 //	reconfigctl -addr 127.0.0.1:7008 replicas
+//	reconfigctl -addr 127.0.0.1:7008 record [on|off]
+//	reconfigctl -addr 127.0.0.1:7008 replay <inst>
 //
 // The replacement-family commands (move, replace, update) run as a
 // transaction on the application side: every primitive journals a
@@ -30,6 +32,13 @@
 // live members with their heartbeat counter and queued backlog, dead
 // members awaiting rebuild, and the supervision counters (detections,
 // recoveries, busy-retries, failures).
+//
+// `record` prints the record ring's status as JSON (capacity, retained
+// records, per-queue delivery sequences, memory bound); `record on` and
+// `record off` toggle recording at runtime. `replay <inst>` replays the
+// recorded window against the instance's module in-process on the
+// application side and prints the reproduction report — whether the
+// replayed output sequence matches the recorded one byte-for-byte.
 package main
 
 import (
@@ -59,7 +68,7 @@ func run(args []string) error {
 	}
 	rest := fs.Args()
 	if len(rest) == 0 {
-		return fmt.Errorf("no command (topology|instances|move|replace|update|replicate|remove|trace|stats|replicas)")
+		return fmt.Errorf("no command (topology|instances|move|replace|update|replicate|remove|trace|stats|replicas|record|replay)")
 	}
 
 	c, err := reconf.DialControl(*addr, *timeout)
@@ -188,6 +197,25 @@ func run(args []string) error {
 			return err
 		}
 		fmt.Println(reps)
+	case "record":
+		mode := arg(1)
+		if mode != "" && mode != "on" && mode != "off" {
+			return fmt.Errorf("record: want on, off or no argument, got %q", mode)
+		}
+		status, err := c.Record(mode)
+		if err != nil {
+			return err
+		}
+		fmt.Println(status)
+	case "replay":
+		if err := need(1); err != nil {
+			return err
+		}
+		rep, err := c.Replay(arg(1))
+		if err != nil {
+			return err
+		}
+		fmt.Println(rep)
 	default:
 		return fmt.Errorf("unknown command %q", rest[0])
 	}

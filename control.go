@@ -20,8 +20,8 @@ import (
 // one gob-framed request/response pair per operation.
 
 type ctlRequest struct {
-	Op      string // topology|instances|move|replace|update|replicate|remove|plan|trace|stats|replicas
-	Inst    string // instance name; for "trace", an optional transaction ID
+	Op      string // topology|instances|move|replace|update|replicate|remove|plan|trace|stats|replicas|record|replay
+	Inst    string // instance name; for "trace", an optional transaction ID; for "record", on|off|"" (status)
 	NewName string
 	Machine string
 	Module  string
@@ -234,6 +234,35 @@ func (s *ControlServer) handle(req ctlRequest) ctlResponse {
 			return fail(err)
 		}
 		return ctlResponse{Text: string(data)}
+	case "record":
+		switch req.Inst {
+		case "":
+		case "on":
+			if err := a.SetRecording(true); err != nil {
+				return fail(err)
+			}
+		case "off":
+			if err := a.SetRecording(false); err != nil {
+				return fail(err)
+			}
+		default:
+			return ctlResponse{Err: fmt.Sprintf("reconf: record: want on, off or empty, got %q", req.Inst)}
+		}
+		data, err := json.MarshalIndent(a.RecordStatus(), "", "  ")
+		if err != nil {
+			return fail(err)
+		}
+		return ctlResponse{Text: string(data)}
+	case "replay":
+		rep, err := a.ReplayRecorded(req.Inst, nil)
+		if err != nil {
+			return fail(err)
+		}
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return fail(err)
+		}
+		return ctlResponse{Text: string(data)}
 	default:
 		return ctlResponse{Err: fmt.Sprintf("reconf: unknown control op %q", req.Op)}
 	}
@@ -363,6 +392,22 @@ func (c *ControlClient) Stats() (string, error) {
 // JSON document (see reconfig.ReplicaSetStatus).
 func (c *ControlClient) Replicas() (string, error) {
 	resp, err := c.call(ctlRequest{Op: "replicas"})
+	return resp.Text, err
+}
+
+// Record drives the remote record ring: mode "on"/"off" toggles it, ""
+// just fetches status. Returns the status as indented JSON (see
+// RecordStatus).
+func (c *ControlClient) Record(mode string) (string, error) {
+	resp, err := c.call(ctlRequest{Op: "record", Inst: mode})
+	return resp.Text, err
+}
+
+// Replay replays the remote record ring's window against an instance's
+// module in-process on the remote side and returns the reproduction
+// report as indented JSON (see ReplayReport).
+func (c *ControlClient) Replay(inst string) (string, error) {
+	resp, err := c.call(ctlRequest{Op: "replay", Inst: inst})
 	return resp.Text, err
 }
 

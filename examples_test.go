@@ -39,8 +39,12 @@ func TestExamplesRun(t *testing.T) {
 			"v2 serving",
 		}},
 		{"./examples/pipeline", []string{
-			"migrating smoother to machineB under load",
-			"all 40 smoothed values correct and in order across the migration",
+			"replay reproduced the recorded window for filter",
+			"hot-swapped filter -> filter2 (replay gate passed)",
+			"replay gate rejected filterBad",
+			"rolled back before commit; filter2 keeps serving",
+			"all 60 values correct through the hot swap and the vetoed swap",
+			"recording disabled via control plane",
 		}},
 		{"./examples/selfheal", []string{
 			"worker pool: 3 replicas, policy roundrobin",

@@ -68,6 +68,10 @@ const (
 	// file higher in the routing -> queueing -> transport decomposition
 	// than its layer permits.
 	CodeBusFileLayer = "AL011"
+	// CodeRecordAppend: a record-log append (replay.QueueLog.Append)
+	// outside internal/bus's queue.go — recorded QSeq is the true delivery
+	// order only because appends happen under the destination queue's lock.
+	CodeRecordAppend = "AL012"
 )
 
 // Config parameterizes a run.
@@ -83,6 +87,7 @@ type rules struct {
 	busPkg      string // the message bus: owns routing snapshots and Bus.mu
 	tracePkg    string // the trace clock: the only other legal minting site
 	reconfigPkg string // the transaction layer: mutations must be journaled
+	replayPkg   string // the record ring: appends confined to bus delivery
 
 	// layers is the architectural DAG for AL010: a package may import only
 	// packages at its own layer or below. Unlisted packages (top-level
@@ -102,6 +107,7 @@ func defaultRules(modPath string) *rules {
 		busPkg:      p("internal/bus"),
 		tracePkg:    p("internal/telemetry/trace"),
 		reconfigPkg: p("internal/reconfig"),
+		replayPkg:   p("internal/replay"),
 		layers: map[string]int{
 			p("internal/telemetry"):       10,
 			p("internal/telemetry/trace"): 10,
@@ -110,9 +116,11 @@ func defaultRules(modPath string) *rules {
 			p("internal/state"):           10,
 			p("internal/checkpoint"):      10,
 			p("internal/quiesce"):         10,
+			p("internal/replay"):          10,
 			p("internal/bus"):             20,
 			p("internal/mh"):              30,
 			p("internal/reconfig"):        30,
+			p("internal/replay/rerun"):    30,
 		},
 		busFiles: map[string]map[string][]string{
 			// Routing is the bottom of the decomposition: it may not know
@@ -124,9 +132,12 @@ func defaultRules(modPath string) *rules {
 				"port.go":   nil,
 			},
 			// Queueing sits above routing: it may use the shared message
-			// vocabulary and the stale-route sentinel, nothing else.
+			// vocabulary (the Message type and its fields — the record hook
+			// reads them to describe a delivery) and the stale-route
+			// sentinel, nothing else.
 			"queue.go": {
-				"bus.go":     {"Message", "Endpoint", "TraceContext"},
+				"bus.go": {"Message", "Endpoint", "TraceContext",
+					"From", "Instance", "Interface", "Data", "Trace"},
 				"routing.go": {"errStaleRoute"},
 				"attach.go":  nil,
 				"tcp.go":     nil,
@@ -171,6 +182,7 @@ func Run(cfg Config) (*diag.Report, error) {
 	}
 	a.typeErrorPass()
 	a.tracePass()
+	a.recordPass()
 	a.mutexPass()
 	a.snapshotPass()
 	a.hotpathPass()

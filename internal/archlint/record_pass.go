@@ -1,0 +1,36 @@
+package archlint
+
+import "go/types"
+
+// recordPass enforces AL012: record-log appends are confined to the bus
+// delivery layer. The replay subsystem's correctness argument — a recorded
+// window's QSeq order is the queue's true delivery order — holds only
+// because replay.QueueLog.Append runs inside msgQueue's push under the
+// queue lock. An append from mh, reconfig, the transport files, or any
+// other layer would interleave records outside that lock and silently
+// break every downstream consumer (the preflight gate, cmd/mhreplay, the
+// /replay endpoint). Resolution is by type — a same-named method on an
+// unrelated type does not match — and within internal/bus the append must
+// come from queue.go itself.
+func (a *analysis) recordPass() {
+	for _, p := range a.checked() {
+		if p.path == a.rules.replayPkg {
+			continue
+		}
+		for id, obj := range p.info.Uses {
+			fn, ok := obj.(*types.Func)
+			if !ok || fn.Name() != "Append" || pkgPathOf(fn) != a.rules.replayPkg {
+				continue
+			}
+			recv := recvNamed(fn)
+			if recv == nil || recv.Obj().Name() != "QueueLog" {
+				continue
+			}
+			if p.path == a.rules.busPkg && a.mod.fileBase(id.Pos()) == "queue.go" {
+				continue
+			}
+			a.diag(CodeRecordAppend, id.Pos(),
+				"record-log append (QueueLog.Append) outside the bus delivery layer: only queue.go may record, under the destination queue's lock")
+		}
+	}
+}

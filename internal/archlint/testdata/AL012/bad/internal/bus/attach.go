@@ -1,0 +1,9 @@
+package bus
+
+import "repro/internal/replay"
+
+// Record appends from the transport file — the right package but the
+// wrong layer of it: only queue.go records, inside push.
+func Record(q *replay.QueueLog, data []byte) {
+	q.Append("attach", data)
+}

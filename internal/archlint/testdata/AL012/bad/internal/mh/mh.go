@@ -1,0 +1,12 @@
+package mh
+
+import "repro/internal/replay"
+
+// Mentioning q.Append() in a comment is fine; so is the string below.
+var doc = "q.Append()"
+
+// Deliver records from the module runtime — recording belongs to the bus
+// delivery layer, under the destination queue's lock, not here.
+func Deliver(q *replay.QueueLog, data []byte) {
+	q.Append("mh", data)
+}

@@ -1,0 +1,7 @@
+package replay
+
+// QueueLog is a per-queue recording handle.
+type QueueLog struct{ n int }
+
+// Append records one delivered message.
+func (q *QueueLog) Append(from string, data []byte) { q.n++ }

@@ -1,0 +1,11 @@
+package bus
+
+import "repro/internal/replay"
+
+// msgQueue owns delivery; the record hook runs under its lock, which is
+// what makes the recorded per-queue sequence the true delivery order.
+type msgQueue struct{ rec *replay.QueueLog }
+
+func (q *msgQueue) push(data []byte) {
+	q.rec.Append("src", data)
+}

@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"repro/internal/faultinject"
+	"repro/internal/replay"
 	"repro/internal/telemetry"
 	"repro/internal/telemetry/trace"
 )
@@ -238,11 +239,12 @@ type Bus struct {
 	mu      sync.Mutex
 	routing atomic.Pointer[routingTable]
 
-	stats  busStats
-	clock  func() time.Time
-	faults atomic.Pointer[faultinject.Set]
-	telem  *telemetry.Registry
-	tracer *trace.Tracer
+	stats    busStats
+	clock    func() time.Time
+	faults   atomic.Pointer[faultinject.Set]
+	telem    *telemetry.Registry
+	tracer   *trace.Tracer
+	recorder *replay.Log
 
 	// Observers have their own lock: emit may run with or without b.mu held,
 	// and observer registration must not race the dispatch snapshot.
@@ -294,6 +296,15 @@ func WithMsgTracer(tr *trace.Tracer) BusOption {
 	return func(b *Bus) { b.tracer = tr }
 }
 
+// WithRecorder sets the bus's record/replay log: while the log is enabled,
+// every delivered message is appended — under the destination queue's lock,
+// so the recorded per-queue sequence is the queue's total delivery order.
+// The default (nil) resolves every append handle to a no-op; a disabled log
+// costs one atomic load per delivery and allocates nothing.
+func WithRecorder(l *replay.Log) BusOption {
+	return func(b *Bus) { b.recorder = l }
+}
+
 // New creates an empty bus. Failpoints default to the process-wide set
 // configured by the FAULTPOINTS environment variable (usually empty).
 // Telemetry is on by default with a fresh registry; override with
@@ -318,6 +329,10 @@ func (b *Bus) Telemetry() *telemetry.Registry { return b.telem }
 // MsgTracer returns the bus's message tracer (nil when stamping is
 // disabled).
 func (b *Bus) MsgTracer() *trace.Tracer { return b.tracer }
+
+// Recorder returns the bus's record/replay log (nil when recording was
+// never configured).
+func (b *Bus) Recorder() *replay.Log { return b.recorder }
 
 // SetFaults overrides the bus's fault-injection set (tests arm their own so
 // parallel tests do not share failpoints). A nil set disables injection.
@@ -484,6 +499,11 @@ func (b *Bus) AddInstance(spec InstanceSpec) error {
 				b.telem.GaugeFunc(prefix+".queue_depth", func() int64 {
 					return int64(q.length())
 				})
+				// The record handle is interned per endpoint, so a clone
+				// reusing a name (rollback resurrect) continues the same
+				// recorded delivery sequence. Nil recorder → nil handle →
+				// no-op appends.
+				q.rec = b.recorder.Queue(spec.Name, name)
 			}
 		}
 		d.instances[spec.Name] = in
@@ -599,7 +619,7 @@ func (b *Bus) RemoveGroupMember(group, member string) error {
 			continue
 		}
 		for i, m := range orphans {
-			if survivors[i%len(survivors)].queue.push(m) == nil {
+			if survivors[i%len(survivors)].queue.push(m, next.version) == nil {
 				requeued++
 			}
 		}
@@ -1299,11 +1319,11 @@ func (b *Bus) writeSlow(src *iface, from Endpoint, msg Message, attempted []targ
 			// Under b.mu no rebind can fence this queue concurrently, so a
 			// plain push suffices; the route is current by construction.
 			if t.ifc != nil {
-				if t.ifc.queue.push(msg) == nil {
+				if t.ifc.queue.push(msg, rt.version) == nil {
 					t.ifc.delivered.Inc()
 					delivered++
 				}
-			} else if b.deliverGroupLocked(t.group, msg) == nil {
+			} else if b.deliverGroupLocked(t.group, msg, rt.version) == nil {
 				delivered++
 			}
 		}

@@ -124,8 +124,9 @@ func (b *Bus) deliverGroup(gr *groupRoute, msg Message, version uint64) error {
 
 // deliverGroupLocked is deliverGroup for the slow path: the caller holds
 // b.mu, so no membership change can fence a queue concurrently and a plain
-// push suffices.
-func (b *Bus) deliverGroupLocked(gr *groupRoute, msg Message) error {
+// push suffices. version is the snapshot the caller re-resolved against,
+// recorded as the delivery epoch.
+func (b *Bus) deliverGroupLocked(gr *groupRoute, msg Message, version uint64) error {
 	n := len(gr.members)
 	if n == 0 {
 		return ErrQueueClosed
@@ -144,7 +145,7 @@ func (b *Bus) deliverGroupLocked(gr *groupRoute, msg Message) error {
 	}
 	for k := 0; k < n; k++ {
 		m := gr.members[(start+k)%n]
-		if m.queue.push(msg) == nil {
+		if m.queue.push(msg, version) == nil {
 			m.delivered.Inc()
 			return nil
 		}

@@ -3,6 +3,8 @@ package bus
 import (
 	"errors"
 	"sync"
+
+	"repro/internal/replay"
 )
 
 // ErrQueueClosed is returned by queue operations after Close.
@@ -17,6 +19,14 @@ type msgQueue struct {
 	cond   *sync.Cond
 	items  []Message
 	closed bool
+
+	// rec is the record/replay append handle for this queue's endpoint,
+	// resolved at AddInstance (nil when the bus runs without a recorder —
+	// a no-op, like the telemetry counters). Appends happen under mu, in
+	// push order, which is what makes the recorded per-queue sequence the
+	// queue's true total delivery order. This is the only layer allowed to
+	// append records (archlint AL012).
+	rec *replay.QueueLog
 
 	// stale fences routed pushes: pushRouted refuses any push whose route
 	// was resolved from a snapshot with version <= stale. A topology change
@@ -33,16 +43,19 @@ func newMsgQueue() *msgQueue {
 	return q
 }
 
-// push appends a message. Pushing to a closed queue reports ErrQueueClosed.
+// push appends a message delivered under the writer lock; version is the
+// routing snapshot the (slow-path) caller re-resolved against, recorded as
+// the delivery's epoch. Pushing to a closed queue reports ErrQueueClosed.
 //
 //archlint:hotpath
-func (q *msgQueue) push(m Message) error {
+func (q *msgQueue) push(m Message, version uint64) error {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.closed {
 		return ErrQueueClosed
 	}
 	q.items = append(q.items, m)
+	q.rec.Append(m.From.Instance, m.From.Interface, m.Data, m.Trace, version)
 	q.cond.Signal()
 	return nil
 }
@@ -63,6 +76,7 @@ func (q *msgQueue) pushRouted(m Message, version uint64) error {
 		return errStaleRoute
 	}
 	q.items = append(q.items, m)
+	q.rec.Append(m.From.Instance, m.From.Interface, m.Data, m.Trace, version)
 	q.cond.Signal()
 	return nil
 }
@@ -80,7 +94,9 @@ func (q *msgQueue) detach(version uint64) {
 
 // pushAll appends a batch in order, waking all readers once. The queue
 // transfer of a rebind uses it to land the moved messages atomically with
-// respect to readers.
+// respect to readers. Transfers are not recorded: each message was already
+// recorded at its original delivery, and a queue move re-homes rather than
+// re-delivers it.
 func (q *msgQueue) pushAll(items []Message) error {
 	if len(items) == 0 {
 		return nil

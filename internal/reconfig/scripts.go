@@ -36,6 +36,13 @@ type ReplaceOptions struct {
 	// reconfiguration. An aborting transaction releases any still held,
 	// so a failed script never leaves a module frozen.
 	Guards []*quiesce.Guard
+	// Preflight, when set, runs between the clone's restore confirmation
+	// and the commit point — the last moment the transaction is still
+	// fully reversible. A non-nil error vetoes the cutover: the
+	// transaction aborts through the journaled rollback and the old
+	// module keeps running. The record/replay subsystem wires its
+	// replay-the-recorded-tail gate here (Config.PreflightReplay).
+	Preflight func(old, new string) error
 }
 
 // Replace performs the Figure 5 reconfiguration script: replace instance

@@ -206,8 +206,17 @@ func (s *Supervisor) Poll() {
 	now := s.cfg.Now()
 	s.mu.Lock()
 	s.stats.Polls++
+	// Probe in sorted order: map iteration order would otherwise make the
+	// detection order (and the audit log) differ between identical runs
+	// when several members stall in one poll.
+	names := make([]string, 0, len(s.probes))
+	for name := range s.probes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
 	var stalled []string
-	for name, pr := range s.probes {
+	for _, name := range names {
+		pr := s.probes[name]
 		cur := pr.ops()
 		queued := 0
 		info, err := s.p.bus.Info(name)

@@ -359,6 +359,20 @@ func ReplaceTx(p *Primitives, launcher Launcher, old string, opts ReplaceOptions
 	if err := p.AwaitRestored(opts.NewName, t.RestoreAck); err != nil {
 		return abort(err)
 	}
+
+	// Pre-flight gate: the restored clone is vetted against recorded
+	// traffic (or whatever check the caller supplied) while every step is
+	// still journaled — a veto aborts through the same rollback as any
+	// step failure, so a divergent candidate never reaches commit.
+	if opts.Preflight != nil {
+		tx.StartSpan("preflight_replay")
+		if err := p.bus.Faults().Fire("reconfig.preflight"); err != nil {
+			return abort(fmt.Errorf("preflight %s -> %s: %w", old, opts.NewName, err))
+		}
+		if err := opts.Preflight(old, opts.NewName); err != nil {
+			return abort(fmt.Errorf("preflight %s -> %s: %w", old, opts.NewName, err))
+		}
+	}
 	j.discard()
 	res.Committed = true
 	tx.StartSpan("commit_tail")

@@ -25,6 +25,9 @@ import (
 //	             timeline; a numeric ID returns that message trace's spans)
 //	/replicas    every supervised replica group: live members with heartbeat
 //	             and backlog, corpses awaiting rebuild, supervision counters
+//	/record      the record ring's status; ?enable=on|off toggles recording
+//	/replay/{id} replay the recorded window against instance id's module
+//	             in-process and report whether the outputs reproduce
 type ObsServer struct {
 	srv *http.Server
 	l   net.Listener
@@ -40,6 +43,8 @@ func (a *App) ServeObs(l net.Listener) *ObsServer {
 	mux.HandleFunc("/traces", a.handleTraces)
 	mux.HandleFunc("/trace/", a.handleTrace)
 	mux.HandleFunc("/replicas", a.handleReplicas)
+	mux.HandleFunc("/record", a.handleRecord)
+	mux.HandleFunc("/replay/", a.handleReplay)
 	srv := &http.Server{Handler: mux}
 	go func() { _ = srv.Serve(l) }() //archlint:spawn HTTP server; exits when srv.Close is called
 	return &ObsServer{srv: srv, l: l}
@@ -129,6 +134,40 @@ func (a *App) handleTrace(w http.ResponseWriter, r *http.Request) {
 
 func (a *App) handleReplicas(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, a.ReplicaSets())
+}
+
+func (a *App) handleRecord(w http.ResponseWriter, r *http.Request) {
+	switch r.URL.Query().Get("enable") {
+	case "":
+	case "on", "true", "1":
+		if err := a.SetRecording(true); err != nil {
+			http.Error(w, err.Error(), http.StatusConflict)
+			return
+		}
+	case "off", "false", "0":
+		if err := a.SetRecording(false); err != nil {
+			http.Error(w, err.Error(), http.StatusConflict)
+			return
+		}
+	default:
+		http.Error(w, "enable must be on or off", http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, a.RecordStatus())
+}
+
+func (a *App) handleReplay(w http.ResponseWriter, r *http.Request) {
+	inst := strings.TrimPrefix(r.URL.Path, "/replay/")
+	if inst == "" {
+		http.Error(w, "usage: /replay/{instance}", http.StatusBadRequest)
+		return
+	}
+	rep, err := a.ReplayRecorded(inst, nil)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	writeJSON(w, rep)
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

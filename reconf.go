@@ -31,6 +31,7 @@ package reconf
 import (
 	"errors"
 	"fmt"
+	"io"
 	"sort"
 	"strings"
 	"sync"
@@ -43,6 +44,7 @@ import (
 	"repro/internal/mh"
 	"repro/internal/mil"
 	"repro/internal/reconfig"
+	"repro/internal/replay"
 	"repro/internal/telemetry"
 	"repro/internal/telemetry/trace"
 	"repro/internal/transform"
@@ -107,6 +109,22 @@ type Config struct {
 	// with input queued before the supervisor declares it wedged
 	// (default 3x SupervisorPoll).
 	StallAfter time.Duration
+	// RecordBuffer enables the record/replay subsystem: every delivered
+	// message is appended to a bounded ring of this capacity (recording
+	// starts on; toggle via the /record obs endpoint or the control
+	// plane). 0 leaves recording unconfigured — the zero-cost default.
+	RecordBuffer int
+	// RecordSpill optionally streams every record to a writer as gob
+	// frames (cmd/mhreplay reads the stream back). Meaningful only with
+	// RecordBuffer > 0; the writer is not closed by the App.
+	RecordSpill io.Writer
+	// PreflightReplay arms the replay gate on every replacement: between
+	// the clone's restore confirmation and commit, the recorded input
+	// window of the old instance is replayed against both the old and the
+	// candidate module in-process, and the transaction aborts through the
+	// journaled rollback if their output sequences diverge. Requires
+	// RecordBuffer > 0.
+	PreflightReplay bool
 }
 
 // Mode aliases, so callers need not import internal packages.
@@ -141,9 +159,10 @@ type App struct {
 	Spec        *mil.Spec
 	Application *mil.Application
 
-	bus   *bus.Bus
-	prims *reconfig.Primitives
-	cfg   Config
+	bus      *bus.Bus
+	prims    *reconfig.Primitives
+	cfg      Config
+	recorder *replay.Log
 
 	mu        sync.Mutex
 	modules   map[string]*PreparedModule
@@ -191,11 +210,25 @@ func Load(cfg Config) (*App, error) {
 	if cfg.SupervisorPoll <= 0 {
 		cfg.SupervisorPoll = 50 * time.Millisecond
 	}
+	if cfg.PreflightReplay && cfg.RecordBuffer <= 0 {
+		return nil, fmt.Errorf("reconf: PreflightReplay requires RecordBuffer > 0")
+	}
+	var recorder *replay.Log
+	if cfg.RecordBuffer > 0 {
+		recorder = replay.NewLog(cfg.RecordBuffer)
+		if cfg.RecordSpill != nil {
+			if err := recorder.SetSpill(cfg.RecordSpill); err != nil {
+				return nil, err
+			}
+		}
+		recorder.Enable()
+	}
 	a := &App{
 		Spec:        spec,
 		Application: appSpec,
-		bus:         bus.New(bus.WithMsgTracer(msgTracer)),
+		bus:         bus.New(bus.WithMsgTracer(msgTracer), bus.WithRecorder(recorder)),
 		cfg:         cfg,
+		recorder:    recorder,
 		modules:     map[string]*PreparedModule{},
 		instances:   map[string]*runningInstance{},
 		instMod:     map[string]string{},
@@ -601,7 +634,11 @@ func (a *App) Replace(inst string, opts reconfig.ReplaceOptions) error {
 // full result: the forward step trace, whether it committed, and — on
 // abort — the compensations replayed to restore the old configuration.
 func (a *App) ReplaceTx(inst string, opts reconfig.ReplaceOptions) (*reconfig.TxResult, error) {
-	return reconfig.ReplaceTx(a.prims, a, inst, a.fillTimeouts(opts))
+	opts = a.fillTimeouts(opts)
+	if opts.Preflight == nil && a.cfg.PreflightReplay {
+		opts.Preflight = a.preflightReplay
+	}
+	return reconfig.ReplaceTx(a.prims, a, inst, opts)
 }
 
 // PlanReplace returns the steps ReplaceTx would perform, without executing

@@ -1,0 +1,93 @@
+package reconf
+
+// TestReplayOverheadArtifact quantifies what recording costs the message
+// path and writes BENCH_replay_overhead.json (scripts/check.sh and `make
+// bench` set RECONFIG_REPLAY_OVERHEAD_JSON; a plain `go test` run skips
+// it):
+//
+//   - record_off: one bus write+read with a recorder attached but
+//     disabled, against the no-recorder baseline. The disabled hook is one
+//     atomic bool load per delivery; its allocation delta per message must
+//     be exactly zero.
+//   - record_on: the same round trip while every delivery is appended to
+//     the ring (payload copy + record allocation — the price of a
+//     replayable window).
+//   - ring_memory_bound_bytes: the ring's retained-memory bound after the
+//     recorded run, pinning the "bounded in-memory ring" claim.
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	"repro/internal/bus"
+	"repro/internal/replay"
+)
+
+func TestReplayOverheadArtifact(t *testing.T) {
+	out := os.Getenv("RECONFIG_REPLAY_OVERHEAD_JSON")
+	if out == "" {
+		t.Skip("set RECONFIG_REPLAY_OVERHEAD_JSON=<path> to emit the replay overhead artifact")
+	}
+
+	payload := make([]byte, 64)
+	roundtrip := func(src, dst bus.Port) func() {
+		return func() {
+			if err := src.Write("out", payload); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := dst.Read("in"); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	baseSrc, baseDst := overheadBusPair(t)
+	offLog := replay.NewLog(4096)
+	offSrc, offDst := overheadBusPair(t, bus.WithRecorder(offLog))
+	onLog := replay.NewLog(4096)
+	onLog.Enable()
+	onSrc, onDst := overheadBusPair(t, bus.WithRecorder(onLog))
+
+	baseNs := benchNs(roundtrip(baseSrc, baseDst))
+	offNs := benchNs(roundtrip(offSrc, offDst))
+	onNs := benchNs(roundtrip(onSrc, onDst))
+
+	baseAllocs := testing.AllocsPerRun(2000, roundtrip(baseSrc, baseDst))
+	offAllocs := testing.AllocsPerRun(2000, roundtrip(offSrc, offDst))
+	onAllocs := testing.AllocsPerRun(2000, roundtrip(onSrc, onDst))
+	offDelta := offAllocs - baseAllocs
+	if offDelta > 0 {
+		t.Errorf("recording off adds %v allocs per message (off=%v base=%v)",
+			offDelta, offAllocs, baseAllocs)
+	}
+
+	report := map[string]any{
+		"benchmark": "replay_overhead",
+		"record_off": map[string]float64{
+			"baseline_ns_op":        baseNs,
+			"recorder_off_ns_op":    offNs,
+			"overhead_ns_op":        offNs - baseNs,
+			"record_allocs_per_msg": offDelta,
+		},
+		"record_on": map[string]float64{
+			"recorder_on_ns_op":     onNs,
+			"overhead_ns_op":        onNs - baseNs,
+			"record_allocs_per_msg": onAllocs - baseAllocs,
+		},
+		"ring": map[string]float64{
+			"capacity":                float64(onLog.Cap()),
+			"recorded_total":          float64(onLog.Recorded()),
+			"retained":                float64(onLog.Len()),
+			"ring_memory_bound_bytes": float64(onLog.MemoryBound()),
+		},
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", out)
+}

@@ -55,4 +55,12 @@ RECONFIG_SELFHEAL_JSON="$PWD/BENCH_selfheal_recovery.json" \
 	go test -race -run TestSelfHealRecoveryArtifact -count=1 .
 cat BENCH_selfheal_recovery.json
 
+echo "== record/replay determinism gate (identical logs, exact reproduction, gated cutover, racy)"
+go test -run 'TestRecordDeterminism|TestReplayReproduces|TestPreflightReplay|TestSpillGoldenBytes|TestRunReplaysWindow' -race -count=1 ./...
+
+echo "== replay overhead artifact (record off must add 0 allocs/msg; ring memory bound)"
+RECONFIG_REPLAY_OVERHEAD_JSON="$PWD/BENCH_replay_overhead.json" \
+	go test -run TestReplayOverheadArtifact -count=1 .
+cat BENCH_replay_overhead.json
+
 echo "ok"
