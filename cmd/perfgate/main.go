@@ -1,0 +1,127 @@
+// Command perfgate is the hot-path performance regression gate. It parses
+// a freshly regenerated BENCH_bus_throughput.json, the committed baseline
+// it is replacing, and the regenerated BENCH_overhead.json, and fails when
+// the lock-free ring's headline numbers regress:
+//
+//   - scaling_16_vs_1.throughput_ratio below 0.95 — the MPSC ring must not
+//     collapse under 16 concurrent senders the way the mutex queue did;
+//   - single-sender ns/msg more than 10% above the committed baseline —
+//     the uncontended path must not pay for the contended one;
+//   - telemetry-on message roundtrip at or above 300 ns/msg — the traced
+//     hot path budget (two atomic adds, no clock read on unsampled).
+//
+// scripts/check.sh snapshots the committed artifact before regenerating,
+// then runs this gate over the pair. Exit status 1 means a regression;
+// thresholds leave ~10% headroom for single-core benchmark variance.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+type busArtifact struct {
+	Configs []struct {
+		Senders  int     `json:"senders"`
+		NsPerMsg float64 `json:"ns_per_msg"`
+	} `json:"configs"`
+	Scaling struct {
+		ThroughputRatio float64 `json:"throughput_ratio"`
+	} `json:"scaling_16_vs_1"`
+}
+
+type overheadArtifact struct {
+	MessageRoundtrip struct {
+		TelemetryOnNsOp float64 `json:"telemetry_on_ns_op"`
+	} `json:"message_roundtrip"`
+}
+
+const (
+	minScalingRatio  = 0.95
+	maxSingleRegress = 1.10
+	maxTelemetryOnNs = 300.0
+)
+
+// singleSender returns the ns/msg of the 1-sender config, or an error if
+// the artifact lacks one.
+func singleSender(a busArtifact) (float64, error) {
+	for _, c := range a.Configs {
+		if c.Senders == 1 {
+			return c.NsPerMsg, nil
+		}
+	}
+	return 0, fmt.Errorf("no senders=1 config in artifact")
+}
+
+// gate returns every threshold violation in the current artifacts measured
+// against the committed baseline.
+func gate(baseline, current busArtifact, overhead overheadArtifact) []string {
+	var fails []string
+	if r := current.Scaling.ThroughputRatio; r < minScalingRatio {
+		fails = append(fails, fmt.Sprintf(
+			"16-vs-1 throughput ratio %.3f below floor %.2f: the ring is collapsing under contention",
+			r, minScalingRatio))
+	}
+	cur, err := singleSender(current)
+	if err != nil {
+		fails = append(fails, "current: "+err.Error())
+	}
+	base, err := singleSender(baseline)
+	if err != nil {
+		fails = append(fails, "baseline: "+err.Error())
+	}
+	if cur != 0 && base != 0 && cur > base*maxSingleRegress {
+		fails = append(fails, fmt.Sprintf(
+			"single-sender %.1f ns/msg regressed more than %.0f%% over committed %.1f ns/msg",
+			cur, (maxSingleRegress-1)*100, base))
+	}
+	if ns := overhead.MessageRoundtrip.TelemetryOnNsOp; ns >= maxTelemetryOnNs {
+		fails = append(fails, fmt.Sprintf(
+			"telemetry-on roundtrip %.1f ns/msg at or above the %.0f ns budget", ns, maxTelemetryOnNs))
+	}
+	return fails
+}
+
+func readJSON(path string, v any) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(data, v); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	return nil
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "", "committed BENCH_bus_throughput.json snapshot")
+	currentPath := flag.String("current", "BENCH_bus_throughput.json", "regenerated throughput artifact")
+	overheadPath := flag.String("overhead", "BENCH_overhead.json", "regenerated overhead artifact")
+	flag.Parse()
+
+	var baseline, current busArtifact
+	var overhead overheadArtifact
+	for _, in := range []struct {
+		path string
+		v    any
+	}{
+		{*baselinePath, &baseline}, {*currentPath, &current}, {*overheadPath, &overhead},
+	} {
+		if err := readJSON(in.path, in.v); err != nil {
+			fmt.Fprintln(os.Stderr, "perfgate:", err)
+			os.Exit(2)
+		}
+	}
+	if fails := gate(baseline, current, overhead); len(fails) > 0 {
+		for _, f := range fails {
+			fmt.Fprintln(os.Stderr, "perfgate: FAIL:", f)
+		}
+		os.Exit(1)
+	}
+	cur, _ := singleSender(current)
+	fmt.Printf("perfgate: ok (ratio %.3f >= %.2f, single-sender %.1f ns/msg, telemetry-on %.1f ns < %.0f)\n",
+		current.Scaling.ThroughputRatio, minScalingRatio, cur,
+		overhead.MessageRoundtrip.TelemetryOnNsOp, maxTelemetryOnNs)
+}

@@ -1,0 +1,53 @@
+package main
+
+import "testing"
+
+func art(ratio, single float64) busArtifact {
+	var a busArtifact
+	a.Scaling.ThroughputRatio = ratio
+	a.Configs = []struct {
+		Senders  int     `json:"senders"`
+		NsPerMsg float64 `json:"ns_per_msg"`
+	}{{Senders: 1, NsPerMsg: single}, {Senders: 16, NsPerMsg: single * 1.1}}
+	return a
+}
+
+func oh(telemetryOn float64) overheadArtifact {
+	var o overheadArtifact
+	o.MessageRoundtrip.TelemetryOnNsOp = telemetryOn
+	return o
+}
+
+func TestGate(t *testing.T) {
+	base := art(1.10, 440)
+	cases := []struct {
+		name    string
+		current busArtifact
+		ov      overheadArtifact
+		fails   int
+	}{
+		{"clean", art(1.05, 450), oh(255), 0},
+		{"single at exactly +10% passes", art(1.05, 440*1.10), oh(255), 0},
+		{"ratio below floor", art(0.90, 450), oh(255), 1},
+		{"single-sender regression", art(1.05, 440*1.11), oh(255), 1},
+		{"telemetry budget blown", art(1.05, 450), oh(300), 1},
+		{"everything wrong", art(0.80, 600), oh(350), 3},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fails := gate(base, tc.current, tc.ov)
+			if len(fails) != tc.fails {
+				t.Fatalf("got %d failures, want %d: %v", len(fails), tc.fails, fails)
+			}
+		})
+	}
+}
+
+func TestGateMissingSingleConfig(t *testing.T) {
+	var empty busArtifact
+	empty.Scaling.ThroughputRatio = 1.0
+	fails := gate(empty, empty, oh(255))
+	if len(fails) != 2 {
+		t.Fatalf("missing senders=1 in both artifacts should fail twice, got %v", fails)
+	}
+}

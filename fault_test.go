@@ -340,3 +340,62 @@ func TestRollbackLatencyArtifact(t *testing.T) {
 	}
 	t.Logf("wrote %s", out)
 }
+
+// TestRollbackQueueGaugeMatchesDrainable pins the queue-depth telemetry
+// against the ground truth after a fault-injected rollback. The gauge reads
+// the ring's lock-free occupancy arithmetic (produced minus consumed plus
+// the carried front list); QueuedMessages walks the actual drainable
+// contents, skipping tombstoned slots. A rollback is the hard case: the
+// backlog was fenced, moved to the clone, and moved back by compensation,
+// so any slot the fence tombstoned along the way must not be counted.
+func TestRollbackQueueGaugeMatchesDrainable(t *testing.T) {
+	app, d, feed := startInterrupted(t)
+
+	faults := faultinject.New()
+	faults.Enable("bus.rebind", faultinject.Point{Action: faultinject.Error, Count: 1})
+	app.Bus().SetFaults(faults)
+
+	feed()
+	res, err := app.ReplaceTx("compute", reconfig.ReplaceOptions{NewName: "compute2"})
+	if err == nil || res == nil || !res.RolledBack {
+		t.Fatalf("replace = %+v, %v; want fault-injected rollback", res, err)
+	}
+
+	// The released module keeps consuming, so gauge and walk race benignly;
+	// poll until they agree for every receiving interface at once.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mismatch := ""
+		snap := app.Telemetry().Snapshot()
+		for _, name := range app.Bus().Instances() {
+			qms, err := app.Bus().QueuedMessages(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			drainable := map[string]int64{}
+			for _, qm := range qms {
+				drainable[qm.Endpoint.Interface]++
+			}
+			info, err := app.Bus().Info(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for ifc := range info.Pending {
+				gauge := snap.Gauges["bus.iface."+name+"."+ifc+".queue_depth"]
+				if gauge != drainable[ifc] {
+					mismatch = fmt.Sprintf("%s.%s: gauge %d, drainable %d", name, ifc, gauge, drainable[ifc])
+				}
+			}
+		}
+		if mismatch == "" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("queue_depth gauge diverged from drainable contents: %s", mismatch)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// And the rollback left a live, correct configuration behind.
+	finishComputation(t, d)
+}

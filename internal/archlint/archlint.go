@@ -69,9 +69,15 @@ const (
 	// than its layer permits.
 	CodeBusFileLayer = "AL011"
 	// CodeRecordAppend: a record-log append (replay.QueueLog.Append)
-	// outside internal/bus's queue.go — recorded QSeq is the true delivery
-	// order only because appends happen under the destination queue's lock.
+	// outside msgQueue's consumer-drain hook (msgQueue.record in queue.go)
+	// — recorded QSeq is the true delivery order only because appends
+	// happen at consumption, where ring slot-claim order is delivery order.
 	CodeRecordAppend = "AL012"
+	// CodeRingProtocol: a violation of the lock-free ring's atomic
+	// protocol — slot publication flags written after the publish or
+	// CAS'd, ring internals (slot/segment fields, the fence word) touched
+	// outside queue.go, or the fence raised outside the routing layer.
+	CodeRingProtocol = "AL013"
 )
 
 // Config parameterizes a run.
@@ -183,6 +189,7 @@ func Run(cfg Config) (*diag.Report, error) {
 	a.typeErrorPass()
 	a.tracePass()
 	a.recordPass()
+	a.ringPass()
 	a.mutexPass()
 	a.snapshotPass()
 	a.hotpathPass()
@@ -278,9 +285,10 @@ func fieldOwner(p *pkg, sel *ast.SelectorExpr) *types.Named {
 	return namedOf(s.Recv())
 }
 
-// isMuOp reports whether call is owner.mu.Lock() or owner.mu.Unlock() for
-// a field named mu on the named type ownerName declared in ownerPkg.
-func isMuOp(p *pkg, call *ast.CallExpr, ownerPkg *types.Package, ownerName string) (op string, ok bool) {
+// isMuOp reports whether call is owner.<field>.Lock() or
+// owner.<field>.Unlock() for a mutex field named field on the named type
+// ownerName declared in ownerPkg.
+func isMuOp(p *pkg, call *ast.CallExpr, ownerPkg *types.Package, ownerName, field string) (op string, ok bool) {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok {
 		return "", false
@@ -289,7 +297,7 @@ func isMuOp(p *pkg, call *ast.CallExpr, ownerPkg *types.Package, ownerName strin
 		return "", false
 	}
 	inner, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
-	if !ok || inner.Sel.Name != "mu" {
+	if !ok || inner.Sel.Name != field {
 		return "", false
 	}
 	owner := fieldOwner(p, inner)

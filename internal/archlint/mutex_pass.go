@@ -59,8 +59,9 @@ var muAcquiringBusMethods = map[string]bool{
 //	       condition/WaitGroup waits, sleeps, network or gob calls, no
 //	       known-blocking or mu-reacquiring bus methods.
 //	AL005  lock order: Bus.mu is taken before queue locks, never after —
-//	       while a msgQueue's lock is held, neither Bus.mu nor any
-//	       mu-acquiring Bus method may be entered.
+//	       while a msgQueue lock (the consumer mu or the segment-growth
+//	       growMu) is held, neither Bus.mu nor any mu-acquiring Bus
+//	       method may be entered.
 //
 // The held-region analysis is intra-procedural and linear: Lock/Unlock
 // statements toggle the held state, toggles inside nested blocks do not
@@ -99,8 +100,9 @@ func (a *analysis) mutexPass() {
 			if !ok || fd.Body == nil {
 				continue
 			}
-			a.lockRegions(p, fd.Body, "Bus", func(n ast.Node) { a.checkBlocking(p, n) })
-			a.lockRegions(p, fd.Body, "msgQueue", func(n ast.Node) { a.checkLockOrder(p, n) })
+			a.lockRegions(p, fd.Body, "Bus", "mu", func(n ast.Node) { a.checkBlocking(p, n) })
+			a.lockRegions(p, fd.Body, "msgQueue", "mu", func(n ast.Node) { a.checkLockOrder(p, n) })
+			a.lockRegions(p, fd.Body, "msgQueue", "growMu", func(n ast.Node) { a.checkLockOrder(p, n) })
 		}
 	}
 }
@@ -115,11 +117,11 @@ func selectHasDefault(sel *ast.SelectStmt) bool {
 	return false
 }
 
-// lockRegions walks body linearly tracking whether owner's mu field (owner
-// being a named type of the bus package) is held, and applies visit to
-// every node reached while it is. Function literals are skipped: their
-// bodies run on other goroutines or after the region.
-func (a *analysis) lockRegions(p *pkg, body *ast.BlockStmt, owner string, visit func(ast.Node)) {
+// lockRegions walks body linearly tracking whether owner's named mutex
+// field (owner being a named type of the bus package) is held, and applies
+// visit to every node reached while it is. Function literals are skipped:
+// their bodies run on other goroutines or after the region.
+func (a *analysis) lockRegions(p *pkg, body *ast.BlockStmt, owner, field string, visit func(ast.Node)) {
 	scanExpr := func(n ast.Node) {
 		if n == nil {
 			return
@@ -140,7 +142,7 @@ func (a *analysis) lockRegions(p *pkg, body *ast.BlockStmt, owner string, visit 
 			switch s := st.(type) {
 			case *ast.ExprStmt:
 				if call, ok := s.X.(*ast.CallExpr); ok {
-					if op, ok := isMuOp(p, call, p.tpkg, owner); ok {
+					if op, ok := isMuOp(p, call, p.tpkg, owner, field); ok {
 						held = op == "Lock"
 						continue
 					}
@@ -287,7 +289,7 @@ func (a *analysis) checkLockOrder(p *pkg, n ast.Node) {
 	if !ok {
 		return
 	}
-	if op, ok := isMuOp(p, call, p.tpkg, "Bus"); ok && op == "Lock" {
+	if op, ok := isMuOp(p, call, p.tpkg, "Bus", "mu"); ok && op == "Lock" {
 		a.diag(CodeLockOrder, call.Pos(),
 			"Bus.mu acquired while a queue lock is held: the sanctioned order is Bus.mu before queue locks")
 		return

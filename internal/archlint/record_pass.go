@@ -1,17 +1,24 @@
 package archlint
 
-import "go/types"
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
 
-// recordPass enforces AL012: record-log appends are confined to the bus
-// delivery layer. The replay subsystem's correctness argument — a recorded
-// window's QSeq order is the queue's true delivery order — holds only
-// because replay.QueueLog.Append runs inside msgQueue's push under the
-// queue lock. An append from mh, reconfig, the transport files, or any
-// other layer would interleave records outside that lock and silently
-// break every downstream consumer (the preflight gate, cmd/mhreplay, the
-// /replay endpoint). Resolution is by type — a same-named method on an
-// unrelated type does not match — and within internal/bus the append must
-// come from queue.go itself.
+// recordPass enforces AL012: record-log appends are confined to the queue's
+// consumer drain. The replay subsystem's correctness argument — a recorded
+// window's QSeq order is the queue's true delivery order — holds because
+// replay.QueueLog.Append runs inside msgQueue.record, the single hook the
+// consumer-side pop/tryPop path calls as it removes a message: ring
+// slot-claim order is delivery order, so appending at consumption yields
+// the true total order. An append from a producer path, from mh, reconfig,
+// the transport files, or any other layer would interleave records outside
+// that order and silently break every downstream consumer (the preflight
+// gate, cmd/mhreplay, the /replay endpoint). Resolution is by type — a
+// same-named method on an unrelated type does not match — and within
+// internal/bus the append must come from the record method of msgQueue in
+// queue.go itself.
 func (a *analysis) recordPass() {
 	for _, p := range a.checked() {
 		if p.path == a.rules.replayPkg {
@@ -27,10 +34,29 @@ func (a *analysis) recordPass() {
 				continue
 			}
 			if p.path == a.rules.busPkg && a.mod.fileBase(id.Pos()) == "queue.go" {
-				continue
+				if fd := enclosingFuncDecl(p, id.Pos()); fd != nil && fd.Name.Name == "record" &&
+					fd.Recv != nil {
+					continue
+				}
 			}
 			a.diag(CodeRecordAppend, id.Pos(),
-				"record-log append (QueueLog.Append) outside the bus delivery layer: only queue.go may record, under the destination queue's lock")
+				"record-log append (QueueLog.Append) outside the consumer drain: only msgQueue.record in queue.go may record, at consumption where ring slot order is delivery order")
 		}
 	}
+}
+
+// enclosingFuncDecl returns the top-level function declaration of p whose
+// body spans pos, or nil.
+func enclosingFuncDecl(p *pkg, pos token.Pos) *ast.FuncDecl {
+	for _, f := range p.files {
+		if pos < f.Pos() || pos > f.End() {
+			continue
+		}
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Pos() <= pos && pos <= fd.End() {
+				return fd
+			}
+		}
+	}
+	return nil
 }

@@ -2,10 +2,19 @@ package bus
 
 import "repro/internal/replay"
 
-// msgQueue owns delivery; the record hook runs under its lock, which is
-// what makes the recorded per-queue sequence the true delivery order.
+// msgQueue owns delivery; record is the consumer-drain hook, called as a
+// message leaves the ring. Slot-claim order is delivery order there, which
+// is what makes the recorded per-queue sequence the true total order.
 type msgQueue struct{ rec *replay.QueueLog }
 
-func (q *msgQueue) push(data []byte) {
-	q.rec.Append("src", data)
+type qitem struct{ data []byte }
+
+func (q *msgQueue) record(it qitem) {
+	q.rec.Append("src", it.data)
+}
+
+func (q *msgQueue) drain() qitem {
+	it := qitem{data: []byte("m")}
+	q.record(it)
+	return it
 }

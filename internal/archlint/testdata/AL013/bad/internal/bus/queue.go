@@ -1,0 +1,38 @@
+package bus
+
+import "sync/atomic"
+
+type qslot struct {
+	state atomic.Uint32
+	msg   []byte
+}
+
+type msgQueue struct {
+	fence atomic.Uint64
+	slots [4]qslot
+}
+
+// push publishes before writing the payload: the consumer can observe the
+// flag and read a torn message.
+func (q *msgQueue) push(m []byte) {
+	s := &q.slots[0]
+	s.state.Store(1)
+	s.msg = m
+}
+
+// claim CASes the publication flag — but a claimed slot has exactly one
+// owner, so the flag is only ever Stored.
+func (q *msgQueue) claim() bool {
+	s := &q.slots[1]
+	return s.state.CompareAndSwap(0, 1)
+}
+
+// refuse raises the fence outside detach, diverting traffic to the slow
+// path with no topology change behind it.
+func (q *msgQueue) refuse(version uint64) {
+	q.fence.Store(version)
+}
+
+func (q *msgQueue) detach(version uint64) {
+	q.fence.Store(version)
+}

@@ -1,0 +1,7 @@
+package bus
+
+// Rebind fences the queue as part of publishing a topology change — the
+// one legal detach site outside group.go.
+func Rebind(q *msgQueue, version uint64) {
+	q.detach(version)
+}

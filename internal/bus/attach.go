@@ -83,6 +83,25 @@ func (a *Attachment) WriteTraced(ifaceName string, data []byte, parent TraceCont
 	return a.bus.writeTraced(Endpoint{Instance: a.inst.spec.Name, Interface: ifaceName}, data, parent)
 }
 
+// SendBatch emits a batch of messages on the named interface in one routing
+// pass: the snapshot load, route lookup, trace reservation and telemetry
+// counters are paid once for the whole batch instead of per message. Batch
+// order is emission order. Equivalent to calling Write for each payload.
+//
+//archlint:hotpath
+func (a *Attachment) SendBatch(ifaceName string, batch [][]byte) error {
+	return a.bus.writeBatchTraced(Endpoint{Instance: a.inst.spec.Name, Interface: ifaceName}, batch, TraceContext{})
+}
+
+// WriteBatchTraced is SendBatch carrying the causal parent context: every
+// message of the batch becomes a sibling child span of parent (a zero
+// parent opens one fresh chain for the burst).
+//
+//archlint:hotpath
+func (a *Attachment) WriteBatchTraced(ifaceName string, batch [][]byte, parent TraceContext) error {
+	return a.bus.writeBatchTraced(Endpoint{Instance: a.inst.spec.Name, Interface: ifaceName}, batch, parent)
+}
+
 // Read blocks until a message arrives on the named interface (mh_read).
 // It fails with ErrStopped if the instance is deleted while blocked.
 //

@@ -615,7 +615,7 @@ func (b *Bus) RemoveGroupMember(group, member string) error {
 			}
 		}
 		if len(survivors) == 0 {
-			ifc.queue.restore(orphans)
+			ifc.queue.restore(orphans, next.version)
 			continue
 		}
 		for i, m := range orphans {
@@ -702,7 +702,7 @@ func (b *Bus) moveQueueLocked(rt *routingTable, from, to Endpoint) ([]Message, e
 		return nil, fmt.Errorf("%w: queue move needs receiving interfaces (%s -> %s)", ErrDirection, from, to)
 	}
 	moved := fi.queue.drain()
-	if err := ti.queue.pushAll(moved); err != nil {
+	if err := ti.queue.pushAll(moved, rt.version); err != nil {
 		return nil, fmt.Errorf("bus: move queue %s -> %s: %w", from, to, err)
 	}
 	return moved, nil
@@ -860,9 +860,9 @@ func (b *Bus) Rebind(edits []BindEdit) error {
 			fi, _ := cur.lookup(e.From)
 			ti, _ := cur.lookup(e.To)
 			moved := fi.queue.drain()
-			if err := ti.queue.pushAll(moved); err != nil {
+			if err := ti.queue.pushAll(moved, cur.version+1); err != nil {
 				for q, items := range qsaved {
-					q.restore(items)
+					q.restore(items, cur.version+1)
 				}
 				// Republish the prior topology under a fresh epoch so the
 				// queues fenced above re-admit routed traffic.
@@ -1267,6 +1267,76 @@ func (b *Bus) writeTraced(from Endpoint, data []byte, parent TraceContext) error
 			// A closed queue means the receiver was deleted mid-write;
 			// the message is simply dropped, like a datagram to a dead
 			// process.
+		}
+	}
+	if delivered > 0 {
+		b.stats.delivered.Add(delivered)
+		rs.src.sent.Add(delivered)
+	}
+	return nil
+}
+
+// writeBatchTraced routes a batch of messages from one endpoint, amortizing
+// the per-send fixed costs over the whole batch: one routing-snapshot load,
+// one route-map lookup, one trace-stamp reservation (a single atomic add
+// claims len(batch) consecutive span ids — message i carries SpanID+i, so
+// span mint order still equals emission order for replay), and one
+// delivered-counter add at the end. Each message still takes the normal
+// per-queue lock-free push, so fencing semantics are identical to N
+// writeTraced calls: a push refused by a fenced snapshot finishes that
+// message on writeSlow and re-enters for the tail of the batch, which
+// re-resolves against the successor snapshot.
+//
+//archlint:hotpath
+func (b *Bus) writeBatchTraced(from Endpoint, batch [][]byte, parent TraceContext) error {
+	if len(batch) == 0 {
+		return nil
+	}
+	if len(batch) == 1 {
+		return b.writeTraced(from, batch[0], parent)
+	}
+	rt := b.routing.Load()
+	rs, ok := rt.routes[from]
+	if !ok {
+		return b.writeNoRouteErr(rt, from)
+	}
+	if len(rs.targets) == 0 {
+		return b.writeUnboundErr(from)
+	}
+	var tr TraceContext
+	if b.tracer != nil {
+		tr = b.tracer.StampBatch(parent, len(batch))
+	}
+	var delivered int64
+	for i, data := range batch {
+		msg := Message{From: from, Data: data, Trace: tr}
+		if tr.TraceID != 0 {
+			msg.Trace.SpanID = tr.SpanID + uint64(i)
+		}
+		for j, t := range rs.targets {
+			var err error
+			if t.ifc != nil {
+				err = t.ifc.queue.pushRouted(msg, rt.version)
+				if err == nil {
+					t.ifc.delivered.Inc()
+				}
+			} else {
+				err = b.deliverGroup(t.group, msg, rt.version)
+			}
+			switch err {
+			case nil:
+				delivered++
+			case errStaleRoute:
+				// Fenced mid-batch: finish this message under the writer
+				// lock (which also flushes the accumulated stats), then
+				// restart the remaining tail against the fresh snapshot.
+				if err := b.writeSlow(rs.src, from, msg, rs.targets[:j], delivered); err != nil {
+					return err
+				}
+				return b.writeBatchTraced(from, batch[i+1:], parent)
+			default:
+				// Closed queue: receiver deleted mid-write, message dropped.
+			}
 		}
 	}
 	if delivered > 0 {

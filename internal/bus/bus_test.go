@@ -9,9 +9,9 @@ import (
 	"time"
 )
 
-func testBus(t *testing.T) *Bus {
+func testBus(t *testing.T, opts ...BusOption) *Bus {
 	t.Helper()
-	b := New()
+	b := New(opts...)
 	mustAdd := func(spec InstanceSpec) {
 		t.Helper()
 		if err := b.AddInstance(spec); err != nil {

@@ -16,6 +16,10 @@ type Port interface {
 	Status() string
 	// Write emits data on the named interface (mh_write).
 	Write(iface string, data []byte) error
+	// SendBatch emits a batch of messages on the named interface in one
+	// routing pass, amortizing the per-send fixed costs. Batch order is
+	// emission order; equivalent to calling Write per payload.
+	SendBatch(iface string, batch [][]byte) error
 	// Read blocks for the next message on the named interface (mh_read).
 	Read(iface string) (Message, error)
 	// TryRead returns a pending message without blocking.
@@ -47,3 +51,17 @@ type TracedWriter interface {
 
 var _ TracedWriter = (*Attachment)(nil)
 var _ TracedWriter = (*RemotePort)(nil)
+
+// BatchTracedWriter is the optional capability pairing SendBatch with a
+// causal parent, the batched analogue of TracedWriter: the mh runtime's
+// write-batching window type-asserts for it when flushing. Every message
+// of the batch becomes a sibling child span of parent.
+type BatchTracedWriter interface {
+	// WriteBatchTraced emits a batch on the named interface, each message
+	// stamped as a causal child of parent (a zero parent opens one fresh
+	// chain for the whole burst).
+	WriteBatchTraced(iface string, batch [][]byte, parent TraceContext) error
+}
+
+var _ BatchTracedWriter = (*Attachment)(nil)
+var _ BatchTracedWriter = (*RemotePort)(nil)

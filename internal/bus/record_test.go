@@ -1,10 +1,11 @@
 package bus
 
-// Recording tests: the bus appends every delivered message to the record
-// ring from inside the destination queue's push (under its mutex), so the
-// recorded per-queue sequence is the queue's true delivery order. These
-// tests pin that invariant plus the payload-fidelity and epoch-stamping
-// properties the replay subsystem depends on.
+// Recording tests: the bus appends every consumed message to the record
+// ring from the destination queue's consumer drain (pop/tryPop), where
+// slot-claim order is delivery order, so the recorded per-queue sequence is
+// the queue's true delivery order. These tests pin that invariant plus the
+// payload-fidelity and epoch-stamping properties the replay subsystem
+// depends on.
 
 import (
 	"fmt"
@@ -138,6 +139,12 @@ func TestRecordDisabledAndNil(t *testing.T) {
 	if err := src.Write("out", []byte("y")); err != nil {
 		t.Fatal(err)
 	}
+	if log.Recorded() != 0 {
+		t.Errorf("log recorded %d undelivered messages", log.Recorded())
+	}
+	if _, err := dst.Read("in"); err != nil {
+		t.Fatal(err)
+	}
 	if log.Recorded() != 1 {
 		t.Errorf("re-enabled log recorded %d, want 1", log.Recorded())
 	}
@@ -158,9 +165,9 @@ func TestRecordDisabledAndNil(t *testing.T) {
 }
 
 // TestRecordGroupDeliveries: fan-in to a replica group records each
-// delivery against the member queue that actually received it, and the
-// redistribution of a removed member's backlog is recorded as fresh
-// deliveries to the survivors.
+// consumed delivery against the member queue that actually served it, and
+// the redistributed backlog of a removed member is recorded — once, at the
+// survivor that eventually consumes it, never at the abandoned member.
 func TestRecordGroupDeliveries(t *testing.T) {
 	log := replay.NewLog(4096)
 	log.Enable()
@@ -185,9 +192,21 @@ func TestRecordGroupDeliveries(t *testing.T) {
 		t.Fatal(err)
 	}
 	feeder := attach(t, b, "feeder")
+	m1 := attach(t, b, "pool.1")
+	m2 := attach(t, b, "pool.2")
 	const n = 10
 	for i := 0; i < n; i++ {
 		if err := feeder.Write("out", []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Round robin splits the fan-in evenly; consume each member's share so
+	// the consumer-side hook records it.
+	for i := 0; i < n/2; i++ {
+		if _, err := m1.Read("in"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m2.Read("in"); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -202,15 +221,32 @@ func TestRecordGroupDeliveries(t *testing.T) {
 		t.Errorf("roundrobin fan-in not visible in records: %+v", perMember)
 	}
 
-	// Remove a member: its queued messages redistribute to the survivor
-	// and each redistribution is recorded as a fresh delivery.
+	// Queue a backlog on both members, then remove pool.2: its unconsumed
+	// messages redistribute to the survivor and are recorded when the
+	// survivor consumes them — exactly once each, against pool.1.
+	const backlog = 4
+	for i := 0; i < backlog; i++ {
+		if err := feeder.Write("out", []byte{byte(n + i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
 	before := len(replay.InputsTo(log.Snapshot(), "pool.1"))
-	removedBacklog := perMember["pool.2.in"]
 	if err := b.RemoveGroupMember("pool", "pool.2"); err != nil {
 		t.Fatal(err)
 	}
+	if got := len(replay.InputsTo(log.Snapshot(), "pool.1")); got != before {
+		t.Errorf("redistribution alone recorded %d deliveries before consumption", got-before)
+	}
+	for i := 0; i < backlog; i++ {
+		if _, err := m1.Read("in"); err != nil {
+			t.Fatal(err)
+		}
+	}
 	after := len(replay.InputsTo(log.Snapshot(), "pool.1"))
-	if after-before != removedBacklog {
-		t.Errorf("redistribution recorded %d deliveries, want %d", after-before, removedBacklog)
+	if after-before != backlog {
+		t.Errorf("survivor recorded %d redistributed deliveries, want %d", after-before, backlog)
+	}
+	if got := len(replay.InputsTo(log.Snapshot(), "pool.2")); got != n/2 {
+		t.Errorf("removed member records grew after removal: %d, want %d", got, n/2)
 	}
 }

@@ -1,6 +1,7 @@
 package bus
 
 import (
+	"bytes"
 	"encoding/gob"
 	"errors"
 	"fmt"
@@ -27,7 +28,7 @@ import (
 
 type clientFrame struct {
 	ID        uint64
-	Op        string // "hello","write","read","tryread","pending","divulge","awaitstate","confirmrestore"
+	Op        string // "hello","write","writebatch","read","tryread","pending","divulge","awaitstate","confirmrestore"
 	Instance  string // hello only
 	Iface     string
 	Data      []byte // payload; for confirmrestore, the error text ("" = success)
@@ -37,6 +38,58 @@ type clientFrame struct {
 	// pre-trace peers decode unchanged and pre-trace peers ignore this field
 	// (pinned by the golden-bytes test in tcp_test.go).
 	Trace TraceContext
+	// Batch carries the payloads of a "writebatch": one frame, one routing
+	// pass on the serving bus. Like Trace, gob's zero-field omission keeps
+	// plain-write frames byte-identical to pre-batch peers.
+	Batch [][]byte
+}
+
+// Frame staging buffers and frame structs are pooled so the steady-state
+// wire path allocates nothing per message beyond what gob itself needs:
+// each Encode stages into a pooled bytes.Buffer (reaching the socket in a
+// single Write), and the frame value handed to gob is a pooled pointer so
+// the interface conversion does not heap-allocate a fresh frame per call.
+var (
+	encBufPool      = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+	clientFramePool = sync.Pool{New: func() any { return new(clientFrame) }}
+	serverFramePool = sync.Pool{New: func() any { return new(serverFrame) }}
+)
+
+// connEncoder serializes gob frames onto one connection through a pooled
+// staging buffer. The gob encoder must stay bound to the stream for its
+// lifetime (type descriptors are sent once), so it is constructed over the
+// connEncoder itself; encode() points the writes at a pooled buffer and
+// flushes the finished frame to the socket in one Write.
+type connEncoder struct {
+	mu  sync.Mutex
+	enc *gob.Encoder
+	dst io.Writer
+	buf *bytes.Buffer // staging target, set for the duration of one encode
+}
+
+func newConnEncoder(conn io.Writer) *connEncoder {
+	ce := &connEncoder{dst: conn}
+	ce.enc = gob.NewEncoder(ce)
+	return ce
+}
+
+// Write implements io.Writer for the inner gob encoder: bytes land in the
+// current staging buffer.
+func (ce *connEncoder) Write(p []byte) (int, error) { return ce.buf.Write(p) }
+
+func (ce *connEncoder) encode(v any) error {
+	ce.mu.Lock()
+	defer ce.mu.Unlock()
+	buf := encBufPool.Get().(*bytes.Buffer)
+	ce.buf = buf
+	err := ce.enc.Encode(v)
+	ce.buf = nil
+	if err == nil {
+		_, err = ce.dst.Write(buf.Bytes())
+	}
+	buf.Reset()
+	encBufPool.Put(buf)
+	return err
 }
 
 type helloAck struct {
@@ -105,7 +158,7 @@ func errFromKind(kind, msg string) error {
 }
 
 // rpcOps is the fixed RPC vocabulary, used to pre-resolve per-op counters.
-var rpcOps = []string{"write", "read", "tryread", "pending", "divulge", "awaitstate", "confirmrestore"}
+var rpcOps = []string{"write", "writebatch", "read", "tryread", "pending", "divulge", "awaitstate", "confirmrestore"}
 
 // Server accepts TCP attachments for a bus.
 type Server struct {
@@ -170,12 +223,14 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.mu.Unlock()
 	}()
 	dec := gob.NewDecoder(conn)
-	enc := gob.NewEncoder(conn)
-	var encMu sync.Mutex
+	enc := newConnEncoder(conn)
 	send := func(f serverFrame) error {
-		encMu.Lock()
-		defer encMu.Unlock()
-		return enc.Encode(f)
+		pf := serverFramePool.Get().(*serverFrame)
+		*pf = f
+		err := enc.encode(pf)
+		*pf = serverFrame{}
+		serverFramePool.Put(pf)
+		return err
 	}
 
 	// Handshake.
@@ -256,6 +311,10 @@ func (s *Server) handle(att *Attachment, req clientFrame) serverFrame {
 		if err := att.WriteTraced(req.Iface, req.Data, req.Trace); err != nil {
 			return fail(err)
 		}
+	case "writebatch":
+		if err := att.WriteBatchTraced(req.Iface, req.Batch, req.Trace); err != nil {
+			return fail(err)
+		}
 	case "read":
 		m, err := att.Read(req.Iface)
 		if err != nil {
@@ -305,12 +364,11 @@ func (s *Server) handle(att *Attachment, req clientFrame) serverFrame {
 // RemotePort is a Port backed by a TCP connection to a bus Server.
 type RemotePort struct {
 	conn        net.Conn
-	enc         *gob.Encoder
+	enc         *connEncoder
 	hello       helloAck
 	callTimeout time.Duration
 	faults      *faultinject.Set
 
-	encMu   sync.Mutex
 	mu      sync.Mutex
 	nextID  uint64
 	waiting map[uint64]chan serverFrame
@@ -375,7 +433,7 @@ func DialPortWith(addr, instance string, opts DialOptions) (*RemotePort, error) 
 	}
 	p := &RemotePort{
 		conn:        conn,
-		enc:         gob.NewEncoder(conn),
+		enc:         newConnEncoder(conn),
 		callTimeout: opts.CallTimeout,
 		faults:      faults,
 		waiting:     map[uint64]chan serverFrame{},
@@ -383,7 +441,7 @@ func DialPortWith(addr, instance string, opts DialOptions) (*RemotePort, error) 
 	}
 	dec := gob.NewDecoder(conn)
 	// Handshake synchronously before starting the demux loop.
-	if err := p.enc.Encode(clientFrame{ID: 0, Op: "hello", Instance: instance}); err != nil {
+	if err := p.enc.encode(&clientFrame{ID: 0, Op: "hello", Instance: instance}); err != nil {
 		conn.Close()
 		return nil, fmt.Errorf("bus: hello: %w", err)
 	}
@@ -461,9 +519,11 @@ func (p *RemotePort) call(req clientFrame) (serverFrame, error) {
 	p.waiting[req.ID] = ch
 	p.mu.Unlock()
 
-	p.encMu.Lock()
-	err := p.enc.Encode(req)
-	p.encMu.Unlock()
+	pf := clientFramePool.Get().(*clientFrame)
+	*pf = req
+	err := p.enc.encode(pf)
+	*pf = clientFrame{}
+	clientFramePool.Put(pf)
 	if err != nil {
 		p.mu.Lock()
 		delete(p.waiting, req.ID)
@@ -515,6 +575,26 @@ func (p *RemotePort) Write(iface string, data []byte) error {
 // survive the TCP hop.
 func (p *RemotePort) WriteTraced(iface string, data []byte, parent TraceContext) error {
 	_, err := p.call(clientFrame{Op: "write", Iface: iface, Data: data, Trace: parent})
+	return err
+}
+
+// SendBatch implements Port: the whole batch crosses the wire in one frame
+// and the serving bus routes it in one pass, so the RPC round trip — the
+// dominant cost of a remote write — is also amortized over the batch.
+func (p *RemotePort) SendBatch(iface string, batch [][]byte) error {
+	if len(batch) == 0 {
+		return nil
+	}
+	_, err := p.call(clientFrame{Op: "writebatch", Iface: iface, Batch: batch})
+	return err
+}
+
+// WriteBatchTraced implements BatchTracedWriter over the wire.
+func (p *RemotePort) WriteBatchTraced(iface string, batch [][]byte, parent TraceContext) error {
+	if len(batch) == 0 {
+		return nil
+	}
+	_, err := p.call(clientFrame{Op: "writebatch", Iface: iface, Batch: batch, Trace: parent})
 	return err
 }
 

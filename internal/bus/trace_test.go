@@ -31,8 +31,8 @@ func TestTraceStampAndChildPropagation(t *testing.T) {
 	if m.Trace.Hops != 0 || m.Trace.Parent != 0 {
 		t.Errorf("root context = %+v, want hops 0 and no parent", m.Trace)
 	}
-	if m.Trace.SentNs == 0 {
-		t.Error("root context has no send timestamp")
+	if m.Trace.SentNs != 0 {
+		t.Error("unsampled context carries a send timestamp — the hot path should skip the clock read")
 	}
 	if m.Trace.Sampled() {
 		t.Error("default tracer must not sample")
@@ -191,9 +191,12 @@ func TestTraceSurvivesQueueMove(t *testing.T) {
 }
 
 // TestQueuedMessages pins the quiesce-correlation snapshot: per-message
-// endpoint, trace context, and age for everything queued toward an instance.
+// endpoint, trace context, and age for everything queued toward an
+// instance. Ages need a send timestamp, which only sampled contexts carry,
+// so the measurable-age arm runs on a rate-1 tracer; on an unsampled bus
+// the age degrades to -1 ("unknown"), pinned by the second arm.
 func TestQueuedMessages(t *testing.T) {
-	b := testBus(t)
+	b := testBus(t, WithMsgTracer(trace.NewTracer(1, trace.NewRecorder(64))))
 	sens := attach(t, b, "sensor")
 	for _, payload := range []string{"a", "b"} {
 		if err := sens.Write("out", []byte(payload)); err != nil {
@@ -220,6 +223,20 @@ func TestQueuedMessages(t *testing.T) {
 	}
 	if _, err := b.QueuedMessages("ghost"); err == nil {
 		t.Error("unknown instance accepted")
+	}
+
+	// Unsampled bus: no send timestamp, age is reported as unknown (-1).
+	plain := testBus(t)
+	psens := attach(t, plain, "sensor")
+	if err := psens.Write("out", []byte("p")); err != nil {
+		t.Fatal(err)
+	}
+	pqm, err := plain.QueuedMessages("compute")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pqm) != 1 || pqm[0].AgeNs != -1 {
+		t.Errorf("unsampled queued age = %+v, want AgeNs -1", pqm)
 	}
 }
 

@@ -1,0 +1,95 @@
+package bus
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// Wire-path allocation ceilings. A single remote Write is one gob frame
+// each way; with the frame structs and encode buffers pooled (tcp.go) the
+// whole client+server roundtrip costs ~14 allocations, dominated by gob's
+// per-value decode work. A 16-message SendBatch amortizes the frame and
+// reply to ~4 allocations per message. The ceilings leave headroom for
+// runtime/gob version drift while still catching a lost pool (dropping
+// frame pooling costs ~3 allocs/msg, an unpooled encode buffer ~2 more).
+const (
+	maxWireAllocsPerMsg        = 20.0
+	maxBatchedWireAllocsPerMsg = 6.0
+	wireBatchSize              = 16
+)
+
+// TestWirePathAllocs pins the allocation cost of the TCP transport's write
+// path and, when RECONFIG_WIRE_OVERHEAD_JSON is set (scripts/check.sh),
+// emits the measured numbers as a benchmark artifact.
+func TestWirePathAllocs(t *testing.T) {
+	_, s := startServer(t)
+	disp := dial(t, s, "display")
+	comp := dial(t, s, "compute")
+	payload := []byte("0123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef")
+	drain := func() {
+		t.Helper()
+		for {
+			if _, ok, err := comp.TryRead("display"); err != nil {
+				t.Fatal(err)
+			} else if !ok {
+				return
+			}
+		}
+	}
+
+	single := testing.AllocsPerRun(2000, func() {
+		if err := disp.Write("temper", payload); err != nil {
+			t.Fatal(err)
+		}
+	})
+	drain()
+
+	batch := make([][]byte, wireBatchSize)
+	for i := range batch {
+		batch[i] = payload
+	}
+	perBatch := testing.AllocsPerRun(200, func() {
+		if err := disp.SendBatch("temper", batch); err != nil {
+			t.Fatal(err)
+		}
+	})
+	drain()
+	batched := perBatch / wireBatchSize
+
+	if single > maxWireAllocsPerMsg {
+		t.Errorf("single remote Write = %.1f allocs/msg, ceiling %.0f — a frame or encode-buffer pool is gone",
+			single, maxWireAllocsPerMsg)
+	}
+	if batched > maxBatchedWireAllocsPerMsg {
+		t.Errorf("batched remote write = %.2f allocs/msg (batch %d), ceiling %.0f",
+			batched, wireBatchSize, maxBatchedWireAllocsPerMsg)
+	}
+	if batched >= single {
+		t.Errorf("batching does not amortize: %.2f allocs/msg batched vs %.1f single", batched, single)
+	}
+	t.Logf("wire path: single %.1f allocs/msg, batched %.2f allocs/msg (batch %d)",
+		single, batched, wireBatchSize)
+
+	out := os.Getenv("RECONFIG_WIRE_OVERHEAD_JSON")
+	if out == "" {
+		return
+	}
+	artifact := map[string]any{
+		"benchmark": "wire_overhead",
+		"workload":  "remote Write / 16-message SendBatch roundtrips, 64-byte payload, client+server allocs",
+		"single_write": map[string]any{
+			"allocs_per_msg": single, "ceiling": maxWireAllocsPerMsg,
+		},
+		"batched_write": map[string]any{
+			"allocs_per_msg": batched, "batch_size": wireBatchSize, "ceiling": maxBatchedWireAllocsPerMsg,
+		},
+	}
+	data, err := json.MarshalIndent(artifact, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -70,6 +70,20 @@ func WithLogWriter(w io.Writer) Option { return func(r *Runtime) { r.logw = w } 
 // WithStateTimeout bounds Decode's wait for installed state (default 30s).
 func WithStateTimeout(d time.Duration) Option { return func(r *Runtime) { r.stateTimeout = d } }
 
+// WithWriteBatch enables the opt-in write-batching window: up to n
+// consecutive Writes to the same interface are buffered and emitted as one
+// batched send (Port.SendBatch / bus.BatchTracedWriter), amortizing the
+// bus's per-send fixed costs — and, over TCP, the RPC round trip — across
+// the window. The window flushes when it reaches n messages, when a Write
+// targets a different interface, and before every primitive that must
+// observe the sends' effects or hand off control: Read, QueryIfMsgs,
+// Sleep, the Reconfig flag check, Capture and Encode — so by the time the
+// module reaches a reconfiguration point its output is on the bus, exactly
+// as with unbatched writes. All messages of one window share the causal
+// parent of the last-read message (the window cannot outlive it: Read
+// flushes first). n <= 1 disables batching (the default).
+func WithWriteBatch(n int) Option { return func(r *Runtime) { r.batchMax = n } }
+
 // WithTelemetry attaches a metrics registry. The runtime publishes
 // mh.<instance>.flag_checks (every evaluation of a reconfiguration flag —
 // the paper's entire steady-state overhead), mh.<instance>.capture_ns (first
@@ -134,6 +148,15 @@ type Runtime struct {
 	// ports; the chain simply breaks at that hop).
 	msgCtx bus.TraceContext
 	tw     bus.TracedWriter
+
+	// Write batching (WithWriteBatch): consecutive same-interface writes
+	// accumulate in batch and leave as one batched send. bw is the port's
+	// BatchTracedWriter capability, resolved once (nil falls back to
+	// Port.SendBatch, then to per-message writes).
+	batchMax   int
+	batchIface string
+	batch      [][]byte
+	bw         bus.BatchTracedWriter
 }
 
 // New wraps a bus port in a participation runtime.
@@ -149,6 +172,7 @@ func New(port bus.Port, opts ...Option) *Runtime {
 	}
 	r.fatal = func(err error) { panic(Termination{Reason: err.Error()}) }
 	r.tw, _ = port.(bus.TracedWriter)
+	r.bw, _ = port.(bus.BatchTracedWriter)
 	for _, o := range opts {
 		o(r)
 	}
@@ -243,6 +267,7 @@ func (r *Runtime) pollSignals() {
 // several it must be a tuple (list) of the same arity.
 func (r *Runtime) Read(iface string, ptrs ...any) {
 	r.pollSignals()
+	r.Flush()
 	m, err := r.port.Read(iface)
 	if err != nil {
 		if errors.Is(err, bus.ErrStopped) {
@@ -299,6 +324,18 @@ func (r *Runtime) Write(iface string, vals ...any) {
 		r.record(fmt.Errorf("mh: encode message for %s: %w", iface, err))
 		return
 	}
+	if r.batchMax > 1 {
+		if r.batchIface != iface {
+			r.Flush()
+			r.batchIface = iface
+		}
+		r.batch = append(r.batch, data)
+		if len(r.batch) >= r.batchMax {
+			r.Flush()
+		}
+		r.tickOp()
+		return
+	}
 	if r.tw != nil {
 		err = r.tw.WriteTraced(iface, data, r.msgCtx)
 	} else {
@@ -313,6 +350,31 @@ func (r *Runtime) Write(iface string, vals ...any) {
 		return
 	}
 	r.tickOp()
+}
+
+// Flush emits the pending write-batching window, if any. Module code never
+// needs to call it — every control-handoff primitive flushes — but hosts
+// driving a runtime directly may force it.
+func (r *Runtime) Flush() {
+	if len(r.batch) == 0 {
+		return
+	}
+	iface, batch := r.batchIface, r.batch
+	r.batch = r.batch[:0]
+	var err error
+	switch {
+	case r.bw != nil:
+		err = r.bw.WriteBatchTraced(iface, batch, r.msgCtx)
+	default:
+		err = r.port.SendBatch(iface, batch)
+	}
+	if err != nil {
+		if errors.Is(err, bus.ErrStopped) {
+			r.failFatal(err)
+			return
+		}
+		r.record(fmt.Errorf("mh: write %s: %w", iface, err))
+	}
 }
 
 func packValues(vals []any) (state.Value, error) {
@@ -334,6 +396,7 @@ func packValues(vals []any) (state.Value, error) {
 // (mh_query_ifmsgs).
 func (r *Runtime) QueryIfMsgs(iface string) bool {
 	r.pollSignals()
+	r.Flush()
 	n, err := r.port.Pending(iface)
 	if err != nil {
 		if errors.Is(err, bus.ErrStopped) {
@@ -360,6 +423,7 @@ func (r *Runtime) Log(vals ...any) {
 // deleted.
 func (r *Runtime) Sleep(ticks int) {
 	r.pollSignals()
+	r.Flush()
 	d := time.Duration(ticks) * r.sleepUnit
 	const slice = 5 * time.Millisecond
 	deadline := time.Now().Add(d)
@@ -388,6 +452,10 @@ func (r *Runtime) Reconfig() bool {
 	r.FlagChecks++
 	r.flagChecks.Inc()
 	r.pollSignals()
+	// A reconfiguration point must observe the module's output on the bus:
+	// flush the write-batching window before reporting the flag (a length
+	// test when batching is off or the window is empty).
+	r.Flush()
 	return r.reconfig
 }
 
@@ -451,6 +519,10 @@ func (r *Runtime) Capture(fn, format string, vals ...any) {
 		r.capturing.Machine = r.port.Machine()
 		r.captureStart = time.Now()
 	}
+	// Entering capture means the module passed a reconfiguration point:
+	// anything still in the write-batching window was emitted before it and
+	// must precede the divulged state on the bus.
+	r.Flush()
 	frame := state.Frame{Func: fn, Location: loc}
 	avs := make([]state.Value, 0, len(vals))
 	locV := state.IntValue(int64(loc))
@@ -509,6 +581,7 @@ func (r *Runtime) CapturedDepth() int {
 // and divulges it to the bus (mh_encode). The module's main returns right
 // after, completing the capture of its bottom-most activation record.
 func (r *Runtime) Encode() {
+	r.Flush()
 	if r.capturing == nil {
 		r.record(errors.New("mh: encode with no captured frames"))
 		return

@@ -59,19 +59,34 @@ type Output struct {
 }
 
 // OutputsOf reconstructs the send sequence of the named instance from a
-// recorded window. A single send fans out into one record per receiving
-// queue; records sharing a nonzero span id are one send (the bus stamps a
-// fresh span per write), so they collapse to one output. On an untraced
-// bus consecutive identical (iface, payload) records collapse instead —
-// exact for single-receiver bindings, the common pipeline shape.
+// recorded window. Records are appended at consumption, so the global ring
+// order is the receivers' interleaving, not the sender's: a fan-out across
+// replica queues may be consumed — and recorded — out of emission order.
+// The sender's order is recovered from the trace span ids instead: the bus
+// mints a globally monotonic span per write (batched sends reserve one id
+// per message), so one sender's spans sort in emission order. A single
+// send to multiple receivers carries one span, so records sharing a
+// nonzero span id collapse to one output. On an untraced bus (all spans
+// zero) ring order is the only signal: consecutive identical (iface,
+// payload) records collapse instead — exact for single-receiver bindings,
+// the common pipeline shape.
 func OutputsOf(recs []Record, instance string) []Output {
 	var sends []Record
+	traced := true
 	for _, r := range recs {
 		if endpointInstance(r.From) == instance {
 			sends = append(sends, r)
+			if r.Trace.SpanID == 0 {
+				traced = false
+			}
 		}
 	}
-	sort.Slice(sends, func(i, j int) bool { return sends[i].Seq < sends[j].Seq })
+	sort.Slice(sends, func(i, j int) bool {
+		if traced && sends[i].Trace.SpanID != sends[j].Trace.SpanID {
+			return sends[i].Trace.SpanID < sends[j].Trace.SpanID
+		}
+		return sends[i].Seq < sends[j].Seq
+	})
 	var out []Output
 	var lastSpan uint64
 	for i, r := range sends {

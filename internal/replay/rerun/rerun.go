@@ -189,6 +189,26 @@ func (vp *virtualPort) WriteTraced(iface string, data []byte, _ bus.TraceContext
 	return nil
 }
 
+// SendBatch captures a batch of outputs in emission order: a batched send
+// replays identically to the equivalent sequence of Writes, so batching
+// never changes a module's canonical output sequence.
+func (vp *virtualPort) SendBatch(iface string, batch [][]byte) error {
+	return vp.WriteBatchTraced(iface, batch, bus.TraceContext{})
+}
+
+// WriteBatchTraced implements bus.BatchTracedWriter for the sandbox.
+func (vp *virtualPort) WriteBatchTraced(iface string, batch [][]byte, _ bus.TraceContext) error {
+	vp.mu.Lock()
+	defer vp.mu.Unlock()
+	if vp.closed {
+		return bus.ErrStopped
+	}
+	for _, data := range batch {
+		vp.outputs = append(vp.outputs, replay.Output{Iface: iface, Data: append([]byte(nil), data...)})
+	}
+	return nil
+}
+
 // Read pops the next recorded input on iface. An exhausted queue reports
 // the stopped-instance error, terminating the body exactly as deletion
 // from the bus would — that is the end of the window.
@@ -269,3 +289,4 @@ func recordMessage(r replay.Record) bus.Message {
 
 var _ bus.Port = (*virtualPort)(nil)
 var _ bus.TracedWriter = (*virtualPort)(nil)
+var _ bus.BatchTracedWriter = (*virtualPort)(nil)

@@ -14,10 +14,10 @@
 // runtime does the bookkeeping, module code is untouched.
 //
 // Cost discipline mirrors the flag test. With sampling off the tracer
-// stamps contexts (two atomic adds and a clock read) and records nothing:
+// stamps contexts (two atomic adds, no clock read) and records nothing:
 // zero allocations on the message hot path. Only a sampled trace (head
-// sampling, decided at mint and propagated in the flags) allocates a span
-// record at delivery.
+// sampling, decided at mint and propagated in the flags) pays for the
+// wall-clock timestamp and allocates a span record at delivery.
 package trace
 
 import (
@@ -45,8 +45,12 @@ type Context struct {
 	Hops uint32
 	// Flags carries the sampling decision (FlagSampled).
 	Flags uint32
-	// SentNs is the wall-clock nanosecond timestamp of the send, stamped by
-	// the bus; delivery spans and quiesce-age snapshots derive from it.
+	// SentNs is the wall-clock nanosecond timestamp of the send; delivery
+	// spans and quiesce-age snapshots derive from it. It is stamped only on
+	// sampled contexts — the clock read is the single largest cost of a
+	// stamp, so unsampled traffic skips it (SentNs stays 0 and consumers
+	// degrade: quiesce age reports -1, delivery spans are never recorded
+	// for unsampled contexts anyway).
 	SentNs int64
 }
 
@@ -103,10 +107,10 @@ func (t *Tracer) MintTrace() Context {
 	c := Context{
 		TraceID: id,
 		SpanID:  t.nextSpan.Add(1),
-		SentNs:  time.Now().UnixNano(),
 	}
 	if t.sampleEvery != 0 && id%t.sampleEvery == 0 {
 		c.Flags = FlagSampled
+		c.SentNs = time.Now().UnixNano()
 	}
 	return c
 }
@@ -120,14 +124,17 @@ func (t *Tracer) ChildSpan(parent Context) Context {
 	if t == nil {
 		return Context{}
 	}
-	return Context{
+	c := Context{
 		TraceID: parent.TraceID,
 		SpanID:  t.nextSpan.Add(1),
 		Parent:  parent.SpanID,
 		Hops:    parent.Hops + 1,
 		Flags:   parent.Flags,
-		SentNs:  time.Now().UnixNano(),
 	}
+	if c.Flags&FlagSampled != 0 {
+		c.SentNs = time.Now().UnixNano()
+	}
+	return c
 }
 
 // Stamp is the single entry point the bus write path uses: extend the
@@ -139,6 +146,47 @@ func (t *Tracer) Stamp(parent Context) Context {
 		return t.ChildSpan(parent)
 	}
 	return t.MintTrace()
+}
+
+// StampBatch stamps a batch of n sends with one span-counter reservation:
+// a single atomic add claims n consecutive span ids, so the per-message
+// cost of a batched send is plain arithmetic. It returns the context of
+// the batch's FIRST message; message i of the batch carries the same
+// context with SpanID+uint64(i). Span ids stay globally unique and mint
+// order still agrees with emission order, which is what replay's
+// OutputsOf sorts by.
+//
+// With a valid parent every message is a sibling child span of that
+// parent (one receive→send hop fanning out n sends). Without a parent the
+// batch opens one causal chain — one trace id, n root sibling spans — so
+// the burst is sampled (or not) as a unit.
+//
+//archlint:hotpath
+func (t *Tracer) StampBatch(parent Context, n int) Context {
+	if t == nil {
+		return Context{}
+	}
+	if n < 1 {
+		n = 1
+	}
+	last := t.nextSpan.Add(uint64(n))
+	c := Context{SpanID: last - uint64(n) + 1}
+	if parent.Valid() {
+		c.TraceID = parent.TraceID
+		c.Parent = parent.SpanID
+		c.Hops = parent.Hops + 1
+		c.Flags = parent.Flags
+	} else {
+		id := t.nextTrace.Add(1)
+		c.TraceID = id
+		if t.sampleEvery != 0 && id%t.sampleEvery == 0 {
+			c.Flags = FlagSampled
+		}
+	}
+	if c.Flags&FlagSampled != 0 {
+		c.SentNs = time.Now().UnixNano()
+	}
+	return c
 }
 
 // RecordDelivery records one completed delivery span — a message stamped

@@ -38,9 +38,30 @@ RECONFIG_OVERHEAD_JSON="$PWD/BENCH_overhead.json" \
 cat BENCH_overhead.json
 
 echo "== bus throughput artifact (1/4/16 concurrent senders over routing snapshots)"
+# Snapshot the previous run's artifact as the regression baseline; on a
+# fresh checkout the first run gates only against the absolute floors.
+baseline=$(mktemp)
+have_baseline=0
+if [ -f BENCH_bus_throughput.json ]; then
+	cp BENCH_bus_throughput.json "$baseline"
+	have_baseline=1
+fi
 RECONFIG_BUS_THROUGHPUT_JSON="$PWD/BENCH_bus_throughput.json" \
 	go test -run TestBusThroughputArtifact -count=1 .
 cat BENCH_bus_throughput.json
+if [ "$have_baseline" -eq 0 ]; then
+	cp BENCH_bus_throughput.json "$baseline"
+fi
+
+echo "== perf regression gate (scaling ratio, single-sender ns/msg, telemetry-on budget)"
+go run ./cmd/perfgate -baseline "$baseline" \
+	-current BENCH_bus_throughput.json -overhead BENCH_overhead.json
+rm -f "$baseline"
+
+echo "== wire overhead artifact (TCP write path allocs/msg, pooled frames and encode buffers)"
+RECONFIG_WIRE_OVERHEAD_JSON="$PWD/BENCH_wire_overhead.json" \
+	go test -run TestWirePathAllocs -count=1 ./internal/bus/
+cat BENCH_wire_overhead.json
 
 echo "== trace overhead artifact (message path: tracing off / unsampled / sampled)"
 RECONFIG_TRACE_OVERHEAD_JSON="$PWD/BENCH_trace_overhead.json" \

@@ -184,6 +184,14 @@ func (h *chaosHarness) waitUntil(what string, timeout time.Duration, cond func()
 // time to recover before the next. Returns the per-kill recovery durations
 // (detection to committed rebuild, wall clock).
 func (h *chaosHarness) run(perSender, kills int) []time.Duration {
+	return h.runBatch(perSender, kills, 1)
+}
+
+// runBatch is run with the senders pushing batchSize-message SendBatch
+// calls instead of single writes: whole batches race the crash-triggered
+// fence-and-redistribute path, and exactly-once must still hold.
+// batchSize must divide perSender.
+func (h *chaosHarness) runBatch(perSender, kills, batchSize int) []time.Duration {
 	h.t.Helper()
 	total := chaosSenders * perSender
 	sup := h.app.Supervisor("pool")
@@ -210,17 +218,27 @@ func (h *chaosHarness) run(perSender, kills int) []time.Duration {
 		wg.Add(1)
 		go func(s int) { //archlint:spawn test sender; exits after perSender writes, joined via wg
 			defer wg.Done()
-			for k := 0; k < perSender; k++ {
-				data, err := h.c.EncodeValue(state.IntValue(int64(s*perSender + k)))
+			for k := 0; k < perSender; k += batchSize {
+				batch := make([][]byte, batchSize)
+				for j := range batch {
+					data, err := h.c.EncodeValue(state.IntValue(int64(s*perSender + k + j)))
+					if err != nil {
+						h.t.Error(err)
+						return
+					}
+					batch[j] = data
+				}
+				var err error
+				if batchSize == 1 {
+					err = h.feeders[s].Write("out", batch[0])
+				} else {
+					err = h.feeders[s].SendBatch("out", batch)
+				}
 				if err != nil {
 					h.t.Error(err)
 					return
 				}
-				if err := h.feeders[s].Write("out", data); err != nil {
-					h.t.Error(err)
-					return
-				}
-				time.Sleep(300 * time.Microsecond)
+				time.Sleep(time.Duration(batchSize) * 300 * time.Microsecond)
 			}
 		}(s)
 	}
@@ -282,6 +300,10 @@ func TestSelfHealChaosKillUnderLoad(t *testing.T) {
 		t.Run(policy, func(t *testing.T) {
 			h := newChaosHarness(t, policy, 4)
 			h.run(50, 3)
+		})
+		t.Run(policy+"/batched", func(t *testing.T) {
+			h := newChaosHarness(t, policy, 4)
+			h.runBatch(50, 3, 5)
 		})
 	}
 }
