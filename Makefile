@@ -3,10 +3,10 @@
 test:
 	go build ./... && go test ./...
 
-# Architectural invariants: the self-hosting archlint run (AL001-AL012:
+# Architectural invariants: the self-hosting archlint run (AL001-AL014:
 # trace confinement, locking discipline, snapshot protocol, hot-path
 # allocations, journaled mutations, spawn sites, layering, record-append
-# confinement).
+# confinement, observability-ring write confinement).
 .PHONY: lint
 lint:
 	go run ./cmd/archlint ./...
@@ -18,8 +18,8 @@ check:
 	./scripts/check.sh
 
 # Benchmark artifacts: replace latency, steady-state overhead, multi-sender
-# bus throughput, trace overhead, and record/replay overhead, written as
-# BENCH_*.json in the repo root.
+# bus throughput, trace overhead, record/replay overhead, and windowed
+# rollup overhead, written as BENCH_*.json in the repo root.
 .PHONY: bench
 bench:
 	RECONFIG_BENCH_JSON="$(CURDIR)/BENCH_reconfig_latency.json" \
@@ -32,3 +32,5 @@ bench:
 		go test -run TestTraceOverheadArtifact -count=1 .
 	RECONFIG_REPLAY_OVERHEAD_JSON="$(CURDIR)/BENCH_replay_overhead.json" \
 		go test -run TestReplayOverheadArtifact -count=1 .
+	RECONFIG_TIMESERIES_JSON="$(CURDIR)/BENCH_timeseries_overhead.json" \
+		go test -run TestTimeseriesOverheadArtifact -count=1 .

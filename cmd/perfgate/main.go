@@ -8,7 +8,11 @@
 //   - single-sender ns/msg more than 10% above the committed baseline —
 //     the uncontended path must not pay for the contended one;
 //   - telemetry-on message roundtrip at or above 300 ns/msg — the traced
-//     hot path budget (two atomic adds, no clock read on unsampled).
+//     hot path budget (two atomic adds, no clock read on unsampled);
+//   - with -timeseries, the same 300 ns budget for the roundtrip measured
+//     while the rollup roller is live against the same registry, and an
+//     allocation delta of exactly zero — windowed history must cost the
+//     steady state nothing (BENCH_timeseries_overhead.json).
 //
 // scripts/check.sh snapshots the committed artifact before regenerating,
 // then runs this gate over the pair. Exit status 1 means a regression;
@@ -35,6 +39,13 @@ type busArtifact struct {
 type overheadArtifact struct {
 	MessageRoundtrip struct {
 		TelemetryOnNsOp float64 `json:"telemetry_on_ns_op"`
+	} `json:"message_roundtrip"`
+}
+
+type timeseriesArtifact struct {
+	MessageRoundtrip struct {
+		RollupsOnNsOp     float64 `json:"rollups_on_ns_op"`
+		AllocsPerMsgDelta float64 `json:"allocs_per_msg_delta"`
 	} `json:"message_roundtrip"`
 }
 
@@ -84,6 +95,22 @@ func gate(baseline, current busArtifact, overhead overheadArtifact) []string {
 	return fails
 }
 
+// gateTimeseries holds the rollups-on roundtrip to the same hot-path
+// budget and requires a zero allocation delta per message.
+func gateTimeseries(ts timeseriesArtifact) []string {
+	var fails []string
+	if ns := ts.MessageRoundtrip.RollupsOnNsOp; ns >= maxTelemetryOnNs {
+		fails = append(fails, fmt.Sprintf(
+			"rollups-on roundtrip %.1f ns/msg at or above the %.0f ns budget: the roller is leaking onto the hot path",
+			ns, maxTelemetryOnNs))
+	}
+	if d := ts.MessageRoundtrip.AllocsPerMsgDelta; d != 0 {
+		fails = append(fails, fmt.Sprintf(
+			"rollups add %.2f allocs per message, want exactly 0", d))
+	}
+	return fails
+}
+
 func readJSON(path string, v any) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -99,6 +126,7 @@ func main() {
 	baselinePath := flag.String("baseline", "", "committed BENCH_bus_throughput.json snapshot")
 	currentPath := flag.String("current", "BENCH_bus_throughput.json", "regenerated throughput artifact")
 	overheadPath := flag.String("overhead", "BENCH_overhead.json", "regenerated overhead artifact")
+	timeseriesPath := flag.String("timeseries", "", "regenerated BENCH_timeseries_overhead.json (optional: gates the rollups-on roundtrip)")
 	flag.Parse()
 
 	var baseline, current busArtifact
@@ -114,14 +142,26 @@ func main() {
 			os.Exit(2)
 		}
 	}
-	if fails := gate(baseline, current, overhead); len(fails) > 0 {
+	fails := gate(baseline, current, overhead)
+	rollupsLine := ""
+	if *timeseriesPath != "" {
+		var ts timeseriesArtifact
+		if err := readJSON(*timeseriesPath, &ts); err != nil {
+			fmt.Fprintln(os.Stderr, "perfgate:", err)
+			os.Exit(2)
+		}
+		fails = append(fails, gateTimeseries(ts)...)
+		rollupsLine = fmt.Sprintf(", rollups-on %.1f ns with 0 alloc delta",
+			ts.MessageRoundtrip.RollupsOnNsOp)
+	}
+	if len(fails) > 0 {
 		for _, f := range fails {
 			fmt.Fprintln(os.Stderr, "perfgate: FAIL:", f)
 		}
 		os.Exit(1)
 	}
 	cur, _ := singleSender(current)
-	fmt.Printf("perfgate: ok (ratio %.3f >= %.2f, single-sender %.1f ns/msg, telemetry-on %.1f ns < %.0f)\n",
+	fmt.Printf("perfgate: ok (ratio %.3f >= %.2f, single-sender %.1f ns/msg, telemetry-on %.1f ns < %.0f%s)\n",
 		current.Scaling.ThroughputRatio, minScalingRatio, cur,
-		overhead.MessageRoundtrip.TelemetryOnNsOp, maxTelemetryOnNs)
+		overhead.MessageRoundtrip.TelemetryOnNsOp, maxTelemetryOnNs, rollupsLine)
 }

@@ -43,6 +43,34 @@ func TestGate(t *testing.T) {
 	}
 }
 
+func ts(rollupsOn, allocDelta float64) timeseriesArtifact {
+	var a timeseriesArtifact
+	a.MessageRoundtrip.RollupsOnNsOp = rollupsOn
+	a.MessageRoundtrip.AllocsPerMsgDelta = allocDelta
+	return a
+}
+
+func TestGateTimeseries(t *testing.T) {
+	cases := []struct {
+		name  string
+		art   timeseriesArtifact
+		fails int
+	}{
+		{"clean", ts(260, 0), 0},
+		{"budget blown", ts(300, 0), 1},
+		{"allocating", ts(260, 1), 1},
+		{"both wrong", ts(450, 2), 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fails := gateTimeseries(tc.art)
+			if len(fails) != tc.fails {
+				t.Fatalf("got %d failures, want %d: %v", len(fails), tc.fails, fails)
+			}
+		})
+	}
+}
+
 func TestGateMissingSingleConfig(t *testing.T) {
 	var empty busArtifact
 	empty.Scaling.ThroughputRatio = 1.0

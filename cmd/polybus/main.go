@@ -7,7 +7,7 @@
 //
 //	polybus -spec app.mil -srcdir ./modules [-app name] \
 //	        [-listen 127.0.0.1:7007] [-control 127.0.0.1:7008] \
-//	        [-obs-addr 127.0.0.1:7009] [-trace-sample 100] \
+//	        [-obs-addr 127.0.0.1:7009] [-pprof] [-trace-sample 100] \
 //	        [-record 4096] [-record-spill run.rec] [-preflight] \
 //	        [-duration 30s] [-sleepunit 10ms]
 //
@@ -46,7 +46,8 @@ func run(args []string) error {
 		appName    = fs.String("app", "", "application name (default: the sole one)")
 		listenAddr = fs.String("listen", "", "TCP address for remote module attachments")
 		ctlAddr    = fs.String("control", "", "TCP address for the reconfiguration control plane")
-		obsAddr    = fs.String("obs-addr", "", "HTTP address for /metrics, /healthz, /traces")
+		obsAddr    = fs.String("obs-addr", "", "HTTP address for /metrics, /healthz, /traces, /timeseries, /health/{inst}, /events")
+		obsPprof   = fs.Bool("pprof", false, "also mount /debug/pprof on the observability address (requires -obs-addr)")
 		traceSmpl  = fs.Int("trace-sample", 0, "sample 1-in-N message traces into the flight recorder (0 = off)")
 		traceBuf   = fs.Int("trace-buffer", 0, "flight recorder capacity in spans (0 = default)")
 		recordBuf  = fs.Int("record", 0, "record every delivered message into a ring of this capacity (0 = off)")
@@ -141,6 +142,10 @@ func run(args []string) error {
 	if len(remoteWait) > 0 {
 		fmt.Println("waiting for remote attachments:", strings.Join(remoteWait, ", "))
 	}
+	// The launch loop above replaces App.Start (it skips instances that
+	// wait for remote attachments), so arm the rollup roller here the way
+	// App.Start would; app.Stop stops it on the way out.
+	app.Timeseries().Start()
 
 	if *listenAddr != "" {
 		l, err := net.Listen("tcp", *listenAddr)
@@ -165,9 +170,15 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		obs := app.ServeObs(l)
+		var opts []reconf.ObsOption
+		if *obsPprof {
+			opts = append(opts, reconf.WithPprof())
+		}
+		obs := app.ServeObs(l, opts...)
 		defer obs.Close()
 		fmt.Println("observability on", obs.Addr())
+	} else if *obsPprof {
+		return fmt.Errorf("-pprof requires -obs-addr")
 	}
 
 	sigs := make(chan os.Signal, 1)

@@ -13,6 +13,10 @@
 //	reconfigctl -addr 127.0.0.1:7008 replicas
 //	reconfigctl -addr 127.0.0.1:7008 record [on|off]
 //	reconfigctl -addr 127.0.0.1:7008 replay <inst>
+//	reconfigctl -addr 127.0.0.1:7008 watch [-interval 2s] [-count 1] [-windows 5]
+//	reconfigctl -addr 127.0.0.1:7008 timeseries [metric] [windows]
+//	reconfigctl -addr 127.0.0.1:7008 health <inst> [baseline,baseline...]
+//	reconfigctl -addr 127.0.0.1:7008 events [cursor]
 //
 // The replacement-family commands (move, replace, update) run as a
 // transaction on the application side: every primitive journals a
@@ -39,12 +43,23 @@
 // recorded window against the instance's module in-process on the
 // application side and prints the reproduction report — whether the
 // replayed output sequence matches the recorded one byte-for-byte.
+//
+// `watch` renders a per-instance table of the windowed telemetry —
+// delivery rate, queued backlog, error rate, sustained p99 delivery
+// latency and health verdict — aggregated over the last -windows rolled
+// windows; with -count 0 it refreshes every -interval until interrupted.
+// `timeseries` lists the rolled metric names, or prints one metric's
+// retained windows as JSON. `health <inst>` prints the instance's
+// structured verdict with its evidence windows (the optional second
+// argument overrides the baseline peers, comma-separated). `events`
+// prints the structured event log after the given cursor.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -68,7 +83,7 @@ func run(args []string) error {
 	}
 	rest := fs.Args()
 	if len(rest) == 0 {
-		return fmt.Errorf("no command (topology|instances|move|replace|update|replicate|remove|trace|stats|replicas|record|replay)")
+		return fmt.Errorf("no command (topology|instances|move|replace|update|replicate|remove|trace|stats|replicas|record|replay|watch|timeseries|health|events)")
 	}
 
 	c, err := reconf.DialControl(*addr, *timeout)
@@ -216,6 +231,66 @@ func run(args []string) error {
 			return err
 		}
 		fmt.Println(rep)
+	case "watch":
+		wfs := flag.NewFlagSet("watch", flag.ContinueOnError)
+		interval := wfs.Duration("interval", 2*time.Second, "refresh interval between iterations")
+		count := wfs.Int("count", 1, "iterations to print; <=0 repeats until interrupted")
+		windows := wfs.Int("windows", 0, "rolled windows to aggregate per row (0 = server default)")
+		if err := wfs.Parse(rest[1:]); err != nil {
+			return err
+		}
+		for i := 0; *count <= 0 || i < *count; i++ {
+			if i > 0 {
+				time.Sleep(*interval)
+				fmt.Println()
+			}
+			tbl, err := c.Watch(*windows)
+			if err != nil {
+				return err
+			}
+			fmt.Println(tbl)
+		}
+	case "timeseries":
+		k := 0
+		if v := arg(2); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return fmt.Errorf("timeseries: windows must be an integer, got %q", v)
+			}
+			k = n
+		}
+		doc, err := c.Timeseries(arg(1), k)
+		if err != nil {
+			return err
+		}
+		fmt.Println(doc)
+	case "health":
+		if err := need(1); err != nil {
+			return err
+		}
+		var baseline []string
+		if b := arg(2); b != "" {
+			baseline = strings.Split(b, ",")
+		}
+		verdict, err := c.Health(arg(1), baseline)
+		if err != nil {
+			return err
+		}
+		fmt.Println(verdict)
+	case "events":
+		var since uint64
+		if v := arg(1); v != "" {
+			n, err := strconv.ParseUint(v, 10, 64)
+			if err != nil {
+				return fmt.Errorf("events: cursor must be a non-negative integer, got %q", v)
+			}
+			since = n
+		}
+		doc, err := c.Events(since)
+		if err != nil {
+			return err
+		}
+		fmt.Println(doc)
 	default:
 		return fmt.Errorf("unknown command %q", rest[0])
 	}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -13,6 +14,8 @@ import (
 	"repro/internal/bus"
 	"repro/internal/reconfig"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/evlog"
+	"repro/internal/telemetry/health"
 )
 
 // The control protocol lets an operator tool (cmd/reconfigctl) drive
@@ -20,9 +23,9 @@ import (
 // one gob-framed request/response pair per operation.
 
 type ctlRequest struct {
-	Op      string // topology|instances|move|replace|update|replicate|remove|plan|trace|stats|replicas|record|replay
-	Inst    string // instance name; for "trace", an optional transaction ID; for "record", on|off|"" (status)
-	NewName string
+	Op      string // topology|instances|move|replace|update|replicate|remove|plan|trace|stats|replicas|record|replay|watch|timeseries|health|events
+	Inst    string // instance name; for "trace", an optional transaction ID; for "record", on|off|"" (status); for "watch"/"events", a numeric argument; for "timeseries", a metric name
+	NewName string // for "health", a comma-separated baseline override; for "timeseries", a window count
 	Machine string
 	Module  string
 }
@@ -263,10 +266,147 @@ func (s *ControlServer) handle(req ctlRequest) ctlResponse {
 			return fail(err)
 		}
 		return ctlResponse{Text: string(data)}
+	case "watch":
+		k := 0
+		if req.Inst != "" {
+			n, err := strconv.Atoi(req.Inst)
+			if err != nil || n < 0 {
+				return ctlResponse{Err: fmt.Sprintf("reconf: watch: window count must be a non-negative integer, got %q", req.Inst)}
+			}
+			k = n
+		}
+		return ctlResponse{Text: a.WatchTable(k)}
+	case "timeseries":
+		if req.Inst == "" {
+			data, err := json.MarshalIndent(map[string]any{
+				"window_ns": int64(a.roller.Window()),
+				"windows":   a.roller.Depth(),
+				"rolled":    a.roller.Rolled(),
+				"metrics":   a.roller.Names(),
+			}, "", "  ")
+			if err != nil {
+				return fail(err)
+			}
+			return ctlResponse{Text: string(data)}
+		}
+		k := 0
+		if req.NewName != "" {
+			n, err := strconv.Atoi(req.NewName)
+			if err != nil || n < 0 {
+				return ctlResponse{Err: fmt.Sprintf("reconf: timeseries: window count must be a non-negative integer, got %q", req.NewName)}
+			}
+			k = n
+		}
+		series, ok := a.roller.Query(req.Inst, k)
+		if !ok {
+			return ctlResponse{Err: fmt.Sprintf("reconf: timeseries: no series for metric %q", req.Inst)}
+		}
+		data, err := json.MarshalIndent(series, "", "  ")
+		if err != nil {
+			return fail(err)
+		}
+		return ctlResponse{Text: string(data)}
+	case "health":
+		if _, err := a.bus.Info(req.Inst); err != nil {
+			return fail(err)
+		}
+		var baseline []string
+		for _, p := range strings.Split(req.NewName, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				baseline = append(baseline, p)
+			}
+		}
+		data, err := json.MarshalIndent(a.Health(req.Inst, baseline), "", "  ")
+		if err != nil {
+			return fail(err)
+		}
+		return ctlResponse{Text: string(data)}
+	case "events":
+		var since uint64
+		if req.Inst != "" {
+			n, err := strconv.ParseUint(req.Inst, 10, 64)
+			if err != nil {
+				return ctlResponse{Err: fmt.Sprintf("reconf: events: cursor must be a non-negative integer, got %q", req.Inst)}
+			}
+			since = n
+		}
+		recs := a.events.Since(since)
+		if recs == nil {
+			recs = []evlog.Record{}
+		}
+		data, err := json.MarshalIndent(map[string]any{
+			"cursor": a.events.Cursor(),
+			"events": recs,
+		}, "", "  ")
+		if err != nil {
+			return fail(err)
+		}
+		return ctlResponse{Text: string(data)}
 	default:
 		return ctlResponse{Err: fmt.Sprintf("reconf: unknown control op %q", req.Op)}
 	}
 	return ctlResponse{Text: "ok"}
+}
+
+// WatchTable renders the operator's one-screen view of the windowed
+// telemetry: per instance, the delivery rate, queued backlog, error rate,
+// sustained p99 delivery latency and health verdict over the last k rolled
+// windows (default 5). Served by the "watch" control op for
+// `reconfigctl watch`.
+func (a *App) WatchTable(k int) string {
+	if k <= 0 {
+		k = 5
+	}
+	snap := a.Telemetry().Snapshot()
+	var b strings.Builder
+	fmt.Fprintf(&b, "window=%s rolled=%d\n", a.roller.Window(), a.roller.Rolled())
+	fmt.Fprintf(&b, "%-24s %12s %8s %10s %12s  %s\n",
+		"INSTANCE", "DELIVERED/S", "QDEPTH", "ERR/S", "P99", "HEALTH")
+	for _, inst := range a.bus.Instances() {
+		ws := health.InstanceWindows(a.roller, inst, k)
+		var delivered, errs, latObs, p99, spanNs int64
+		for _, w := range ws {
+			delivered += w.Delivered
+			errs += w.Errors
+			latObs += w.LatObs
+			if w.P99Ns > p99 {
+				p99 = w.P99Ns
+			}
+			spanNs += w.EndNs - w.StartNs
+		}
+		secs := float64(spanNs) / 1e9
+		rate := func(v int64) float64 {
+			if secs <= 0 {
+				return 0
+			}
+			return float64(v) / secs
+		}
+		p99s := "-"
+		if latObs > 0 {
+			p99s = time.Duration(p99).String()
+		}
+		fmt.Fprintf(&b, "%-24s %12.1f %8d %10.2f %12s  %s\n",
+			inst, rate(delivered), queueDepth(snap, inst), rate(errs), p99s, a.Health(inst, nil).Level)
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+// queueDepth sums the live queue-depth gauges attributed to inst. Instance
+// names may contain dots ("pool.1"), so the dotless interface segment is
+// peeled off the right-hand side before comparing.
+func queueDepth(snap telemetry.Snapshot, inst string) int64 {
+	var total int64
+	for name, v := range snap.Gauges {
+		rest := strings.TrimPrefix(name, "bus.iface.")
+		if rest == name || !strings.HasSuffix(rest, ".queue_depth") {
+			continue
+		}
+		rest = strings.TrimSuffix(rest, ".queue_depth")
+		if i := strings.LastIndexByte(rest, '.'); i > 0 && rest[:i] == inst {
+			total += v
+		}
+	}
+	return total
 }
 
 // replaceTx runs a replacement-family script and ships the transaction
@@ -408,6 +548,47 @@ func (c *ControlClient) Record(mode string) (string, error) {
 // report as indented JSON (see ReplayReport).
 func (c *ControlClient) Replay(inst string) (string, error) {
 	resp, err := c.call(ctlRequest{Op: "replay", Inst: inst})
+	return resp.Text, err
+}
+
+// Watch fetches the remote per-instance telemetry table aggregated over
+// the last k rolled windows (k <= 0 uses the server default).
+func (c *ControlClient) Watch(k int) (string, error) {
+	req := ctlRequest{Op: "watch"}
+	if k > 0 {
+		req.Inst = strconv.Itoa(k)
+	}
+	resp, err := c.call(req)
+	return resp.Text, err
+}
+
+// Timeseries fetches windowed rollups as indented JSON: with an empty
+// metric, the series listing; otherwise that metric's retained windows,
+// optionally capped to the trailing k (k <= 0 returns all retained).
+func (c *ControlClient) Timeseries(metric string, k int) (string, error) {
+	req := ctlRequest{Op: "timeseries", Inst: metric}
+	if k > 0 {
+		req.NewName = strconv.Itoa(k)
+	}
+	resp, err := c.call(req)
+	return resp.Text, err
+}
+
+// Health fetches an instance's structured health verdict as indented JSON.
+// An empty baseline defaults to the instance's live replica-group peers.
+func (c *ControlClient) Health(inst string, baseline []string) (string, error) {
+	resp, err := c.call(ctlRequest{Op: "health", Inst: inst, NewName: strings.Join(baseline, ",")})
+	return resp.Text, err
+}
+
+// Events fetches the structured event log after the exclusive cursor as
+// indented JSON ({cursor, events}).
+func (c *ControlClient) Events(since uint64) (string, error) {
+	req := ctlRequest{Op: "events"}
+	if since > 0 {
+		req.Inst = strconv.FormatUint(since, 10)
+	}
+	resp, err := c.call(req)
 	return resp.Text, err
 }
 

@@ -164,6 +164,136 @@ func TestControlProtocol(t *testing.T) {
 	}
 }
 
+// TestControlObservabilityOps exercises the windowed-telemetry ops over
+// the control plane: watch renders the per-instance table, timeseries
+// serves the rollup listing and one series, health returns a structured
+// verdict, and events pages the structured log by cursor.
+func TestControlObservabilityOps(t *testing.T) {
+	app, d, _ := startInterrupted(t)
+	d.temperature(60)
+	finishComputation(t, d)
+
+	// Roll two windows by hand rather than waiting out the wall clock.
+	app.Timeseries().Roll()
+	app.Timeseries().Roll()
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := app.ServeControl(l)
+	defer srv.Close()
+	c, err := DialControl(srv.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	tbl, err := c.Watch(0)
+	if err != nil {
+		t.Fatalf("watch: %v", err)
+	}
+	for _, want := range []string{"INSTANCE", "DELIVERED/S", "QDEPTH", "HEALTH", "display", "healthy"} {
+		if !strings.Contains(tbl, want) {
+			t.Errorf("watch table missing %q:\n%s", want, tbl)
+		}
+	}
+	listing, err := c.Timeseries("", 0)
+	if err != nil {
+		t.Fatalf("timeseries listing: %v", err)
+	}
+	var names struct {
+		Metrics []string `json:"metrics"`
+	}
+	if err := json.Unmarshal([]byte(listing), &names); err != nil {
+		t.Fatalf("timeseries listing is not JSON: %v\n%s", err, listing)
+	}
+	metric := "bus.iface.display.temper.delivered"
+	found := false
+	for _, m := range names.Metrics {
+		if m == metric {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("timeseries listing lacks %s: %v", metric, names.Metrics)
+	}
+	doc, err := c.Timeseries(metric, 1)
+	if err != nil {
+		t.Fatalf("timeseries %s: %v", metric, err)
+	}
+	var series struct {
+		Kind   string `json:"kind"`
+		Points []struct {
+			Value int64 `json:"value"`
+		} `json:"points"`
+	}
+	if err := json.Unmarshal([]byte(doc), &series); err != nil {
+		t.Fatalf("timeseries series is not JSON: %v\n%s", err, doc)
+	}
+	if series.Kind != "counter" || len(series.Points) != 1 {
+		t.Errorf("series = kind %s with %d points, want counter with 1 window", series.Kind, len(series.Points))
+	}
+	if _, err := c.Timeseries("no.such.metric", 0); err == nil {
+		t.Error("timeseries of unknown metric accepted")
+	}
+
+	verdictDoc, err := c.Health("display", nil)
+	if err != nil {
+		t.Fatalf("health: %v", err)
+	}
+	var verdict struct {
+		Instance string `json:"instance"`
+		Level    string `json:"level"`
+	}
+	if err := json.Unmarshal([]byte(verdictDoc), &verdict); err != nil {
+		t.Fatalf("health verdict is not JSON: %v\n%s", err, verdictDoc)
+	}
+	if verdict.Instance != "display" || verdict.Level == "" {
+		t.Errorf("verdict = %+v, want instance display with a level", verdict)
+	}
+	if _, err := c.Health("ghost", nil); err == nil {
+		t.Error("health of unknown instance accepted")
+	}
+
+	eventsDoc, err := c.Events(0)
+	if err != nil {
+		t.Fatalf("events: %v", err)
+	}
+	var events struct {
+		Cursor uint64 `json:"cursor"`
+		Events []struct {
+			Source string `json:"source"`
+			Kind   string `json:"kind"`
+		} `json:"events"`
+	}
+	if err := json.Unmarshal([]byte(eventsDoc), &events); err != nil {
+		t.Fatalf("events is not JSON: %v\n%s", err, eventsDoc)
+	}
+	sawBus := false
+	for _, e := range events.Events {
+		if e.Source == "bus" && e.Kind == "add-instance" {
+			sawBus = true
+		}
+	}
+	if !sawBus {
+		t.Errorf("events lack a bus add-instance record:\n%s", eventsDoc)
+	}
+	tailDoc, err := c.Events(events.Cursor)
+	if err != nil {
+		t.Fatalf("events since cursor: %v", err)
+	}
+	var tail struct {
+		Events []json.RawMessage `json:"events"`
+	}
+	if err := json.Unmarshal([]byte(tailDoc), &tail); err != nil {
+		t.Fatal(err)
+	}
+	if len(tail.Events) != 0 {
+		t.Errorf("events since cursor returned %d records, want 0", len(tail.Events))
+	}
+}
+
 func TestDialControlFailure(t *testing.T) {
 	if _, err := DialControl("127.0.0.1:1", 100*time.Millisecond); err == nil {
 		t.Error("dial to closed port succeeded")

@@ -78,6 +78,12 @@ const (
 	// CAS'd, ring internals (slot/segment fields, the fence word) touched
 	// outside queue.go, or the fence raised outside the routing layer.
 	CodeRingProtocol = "AL013"
+	// CodeObsRing: an observability-ring write outside its designated
+	// feeder — an event-log append (evlog.Log.Append) from a layer other
+	// than the reconfig supervisor or the top-level observer bridge, or a
+	// window roll (timeseries.Roller.Roll) outside the roller's own
+	// background loop.
+	CodeObsRing = "AL014"
 )
 
 // Config parameterizes a run.
@@ -90,10 +96,12 @@ type Config struct {
 // are derived from the module path so the fixtures (module "repro") and the
 // real repository share one rule set.
 type rules struct {
-	busPkg      string // the message bus: owns routing snapshots and Bus.mu
-	tracePkg    string // the trace clock: the only other legal minting site
-	reconfigPkg string // the transaction layer: mutations must be journaled
-	replayPkg   string // the record ring: appends confined to bus delivery
+	busPkg        string // the message bus: owns routing snapshots and Bus.mu
+	tracePkg      string // the trace clock: the only other legal minting site
+	reconfigPkg   string // the transaction layer: mutations must be journaled
+	replayPkg     string // the record ring: appends confined to bus delivery
+	evlogPkg      string // the event log: appends confined to its feeders
+	timeseriesPkg string // the window roller: rolls confined to its own loop
 
 	// layers is the architectural DAG for AL010: a package may import only
 	// packages at its own layer or below. Unlisted packages (top-level
@@ -110,23 +118,28 @@ type rules struct {
 func defaultRules(modPath string) *rules {
 	p := func(s string) string { return modPath + "/" + s }
 	return &rules{
-		busPkg:      p("internal/bus"),
-		tracePkg:    p("internal/telemetry/trace"),
-		reconfigPkg: p("internal/reconfig"),
-		replayPkg:   p("internal/replay"),
+		busPkg:        p("internal/bus"),
+		tracePkg:      p("internal/telemetry/trace"),
+		reconfigPkg:   p("internal/reconfig"),
+		replayPkg:     p("internal/replay"),
+		evlogPkg:      p("internal/telemetry/evlog"),
+		timeseriesPkg: p("internal/telemetry/timeseries"),
 		layers: map[string]int{
-			p("internal/telemetry"):       10,
-			p("internal/telemetry/trace"): 10,
-			p("internal/faultinject"):     10,
-			p("internal/codec"):           10,
-			p("internal/state"):           10,
-			p("internal/checkpoint"):      10,
-			p("internal/quiesce"):         10,
-			p("internal/replay"):          10,
-			p("internal/bus"):             20,
-			p("internal/mh"):              30,
-			p("internal/reconfig"):        30,
-			p("internal/replay/rerun"):    30,
+			p("internal/telemetry"):            10,
+			p("internal/telemetry/trace"):      10,
+			p("internal/telemetry/evlog"):      10,
+			p("internal/telemetry/timeseries"): 10,
+			p("internal/telemetry/health"):     10,
+			p("internal/faultinject"):          10,
+			p("internal/codec"):                10,
+			p("internal/state"):                10,
+			p("internal/checkpoint"):           10,
+			p("internal/quiesce"):              10,
+			p("internal/replay"):               10,
+			p("internal/bus"):                  20,
+			p("internal/mh"):                   30,
+			p("internal/reconfig"):             30,
+			p("internal/replay/rerun"):         30,
 		},
 		busFiles: map[string]map[string][]string{
 			// Routing is the bottom of the decomposition: it may not know
@@ -190,6 +203,7 @@ func Run(cfg Config) (*diag.Report, error) {
 	a.tracePass()
 	a.recordPass()
 	a.ringPass()
+	a.obsRingPass()
 	a.mutexPass()
 	a.snapshotPass()
 	a.hotpathPass()

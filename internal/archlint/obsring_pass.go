@@ -1,0 +1,53 @@
+package archlint
+
+import (
+	"go/types"
+)
+
+// obsRingPass enforces AL014: the observability rings are written only by
+// their designated feeders.
+//
+// The event log (evlog.Log) is fed exclusively from the control plane's
+// already-serialized choke points — the reconfig supervisor (whose Poll is
+// pollMu-serialized) and the top-level composition (the bus observer bridge
+// and the transaction wrapper). An append from the bus, mh, or any other
+// layer would put ring writes on paths with no ordering relationship to the
+// topology changes the log narrates, and would hand lower layers a
+// dependency on the observability vocabulary the DAG keeps above them.
+//
+// The window roller (timeseries.Roller.Roll) samples the registry's
+// cumulative atomics and must do so from exactly one place: its own
+// background loop. A roll from anywhere else would close windows early,
+// skewing every per-window delta and quantile the health checker and the
+// /timeseries surface report. Tests (excluded from analysis) may roll by
+// hand to avoid waiting out the wall clock; production code may not.
+func (a *analysis) obsRingPass() {
+	for _, p := range a.checked() {
+		for id, obj := range p.info.Uses {
+			fn, ok := obj.(*types.Func)
+			if !ok {
+				continue
+			}
+			switch {
+			case fn.Name() == "Append" && pkgPathOf(fn) == a.rules.evlogPkg:
+				if recv := recvNamed(fn); recv == nil || recv.Obj().Name() != "Log" {
+					continue
+				}
+				if p.path == a.rules.evlogPkg || p.path == a.rules.reconfigPkg || p.path == a.mod.path {
+					continue
+				}
+				a.diag(CodeObsRing, id.Pos(),
+					"event-log append (evlog.Log.Append) outside its feeders: only the reconfig supervisor and the top-level observer bridge append, from their serialized control paths")
+			case fn.Name() == "Roll" && pkgPathOf(fn) == a.rules.timeseriesPkg:
+				if recv := recvNamed(fn); recv == nil || recv.Obj().Name() != "Roller" {
+					continue
+				}
+				if p.path == a.rules.timeseriesPkg {
+					continue
+				}
+				a.diag(CodeObsRing, id.Pos(),
+					"window roll (timeseries.Roller.Roll) outside the roller's background loop: an out-of-band roll closes windows early and skews every per-window delta and quantile")
+			}
+		}
+	}
+}

@@ -1,0 +1,13 @@
+package bus
+
+import "repro/internal/telemetry/evlog"
+
+// Mentioning l.Append() in a comment is fine; so is the string below.
+var doc = "l.Append()"
+
+// Publish appends from the bus — a layer with no ordering relationship to
+// the topology changes the log narrates. Events reach the log through the
+// top-level observer bridge, never directly from here.
+func Publish(l *evlog.Log, kind string) {
+	l.Append(evlog.Record{Source: "bus", Kind: kind})
+}

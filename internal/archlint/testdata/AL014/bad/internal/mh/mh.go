@@ -1,0 +1,10 @@
+package mh
+
+import "repro/internal/telemetry/timeseries"
+
+// Tick rolls the window ring from the module runtime — an out-of-band roll
+// closes windows early and skews every per-window delta the health checker
+// reads. Only the roller's own background loop rolls.
+func Tick(r *timeseries.Roller) {
+	r.Roll()
+}

@@ -1,0 +1,13 @@
+package evlog
+
+// Record is one structured event.
+type Record struct {
+	Source string
+	Kind   string
+}
+
+// Log is the bounded event ring.
+type Log struct{ n int }
+
+// Append publishes one record.
+func (l *Log) Append(r Record) { l.n++ }

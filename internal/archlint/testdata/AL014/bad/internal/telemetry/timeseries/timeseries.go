@@ -1,0 +1,7 @@
+package timeseries
+
+// Roller owns the window ring.
+type Roller struct{ rolled int }
+
+// Roll closes the current window.
+func (r *Roller) Roll() { r.rolled++ }

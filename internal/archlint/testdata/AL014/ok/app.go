@@ -1,0 +1,12 @@
+// Package repro is the top-level composition: its observer bridge is the
+// sanctioned path from bus events into the structured event log.
+package repro
+
+import "repro/internal/telemetry/evlog"
+
+// App bridges bus observer callbacks into the event log.
+type App struct{ events *evlog.Log }
+
+func (a *App) bridgeBusEvent(kind string) {
+	a.events.Append(evlog.Record{Source: "bus", Kind: kind})
+}

@@ -1,0 +1,14 @@
+package timeseries
+
+// Roller owns the window ring.
+type Roller struct{ rolled int }
+
+// Roll closes the current window.
+func (r *Roller) Roll() { r.rolled++ }
+
+// loop is the background roller: the one production call site of Roll.
+func (r *Roller) loop(ticks int) {
+	for i := 0; i < ticks; i++ {
+		r.Roll()
+	}
+}

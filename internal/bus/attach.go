@@ -140,16 +140,23 @@ func (a *Attachment) TryRead(ifaceName string) (Message, bool, error) {
 	return m, ok, err
 }
 
-// recordDelivery closes the message's delivery span in the flight recorder.
-// A no-op unless the context is sampled and the bus tracer records — the
-// unsampled read path pays one flag test, mirroring the paper's claim about
-// the transformation's steady-state cost.
+// recordDelivery closes the message's delivery span in the flight recorder
+// and attributes the send-to-read latency to this receiving endpoint's
+// histogram. A no-op unless the context is sampled (only sampled messages
+// carry a send timestamp) — the unsampled read path pays one flag test,
+// mirroring the paper's claim about the transformation's steady-state cost.
 func (a *Attachment) recordDelivery(ifaceName string, m Message) {
 	if !m.Trace.Sampled() {
 		return
 	}
 	to := Endpoint{Instance: a.inst.spec.Name, Interface: ifaceName}
-	a.bus.tracer.RecordDelivery(m.Trace, m.From.String(), to.String(), time.Now().UnixNano())
+	now := time.Now().UnixNano()
+	a.bus.tracer.RecordDelivery(m.Trace, m.From.String(), to.String(), now)
+	if m.Trace.SentNs != 0 {
+		if ifc := a.inst.ifaces[ifaceName]; ifc != nil {
+			ifc.latency.ObserveNs(now - m.Trace.SentNs)
+		}
+	}
 }
 
 // Pending returns the number of messages queued on the named interface

@@ -185,6 +185,11 @@ type iface struct {
 	// bus runs with telemetry disabled, so the write path never branches.
 	sent      *telemetry.Counter
 	delivered *telemetry.Counter
+	// latency attributes delivery latency (send-stamp to read) to this
+	// receiving endpoint. Observed only for sampled messages, which are the
+	// only ones carrying a send timestamp — the unsampled hot path is
+	// untouched.
+	latency *telemetry.Histogram
 }
 
 // instance is one module instance. The identity fields (name, interface
@@ -495,6 +500,7 @@ func (b *Bus) AddInstance(spec InstanceSpec) error {
 			}
 			if ifc.spec.Dir.Receives() {
 				ifc.delivered = b.telem.Counter(prefix + ".delivered")
+				ifc.latency = b.telem.Histogram(prefix + ".delivery_latency_ns")
 				q := ifc.queue
 				b.telem.GaugeFunc(prefix+".queue_depth", func() int64 {
 					return int64(q.length())

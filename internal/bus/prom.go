@@ -1,0 +1,81 @@
+package bus
+
+import (
+	"strings"
+
+	"repro/internal/telemetry"
+)
+
+// PromLabelRules returns the label rules that turn the repository's flat
+// dotted metric names into labeled Prometheus families, giving per-instance
+// attribution in a scrape:
+//
+//	bus.iface.<inst>.<iface>.delivered -> bus_iface_delivered{instance,interface}
+//	mh.<inst>.flag_checks              -> mh_flag_checks{instance}
+//	selfheal.<group>.members           -> selfheal_members{group}
+//
+// Instance names may contain dots (replica members are "<group>.<n>"), so
+// the rules peel the metric and interface segments — which are dotless by
+// construction — off the right-hand side and treat the remainder as the
+// instance name. Unrecognized names fall through to flat rendering.
+func PromLabelRules() []telemetry.LabelRule {
+	return []telemetry.LabelRule{busIfaceRule, mhRule, selfhealRule}
+}
+
+// trimKnownSuffix peels the last dotted segment off name and reports it if
+// it is one of the known metric segments.
+func trimKnownSuffix(name string, known []string) (rest, metric string) {
+	for _, m := range known {
+		if strings.HasSuffix(name, "."+m) {
+			return strings.TrimSuffix(name, "."+m), m
+		}
+	}
+	return "", ""
+}
+
+func busIfaceRule(name string) (string, []telemetry.Label) {
+	const prefix = "bus.iface."
+	if !strings.HasPrefix(name, prefix) {
+		return "", nil
+	}
+	rest, metric := trimKnownSuffix(strings.TrimPrefix(name, prefix),
+		[]string{"sent", "delivered", "queue_depth", "delivery_latency_ns"})
+	if metric == "" {
+		return "", nil
+	}
+	// rest is "<instance>.<interface>" with a dotless interface segment.
+	i := strings.LastIndexByte(rest, '.')
+	if i <= 0 || i == len(rest)-1 {
+		return "", nil
+	}
+	return "bus_iface_" + metric, []telemetry.Label{
+		{Name: "instance", Value: rest[:i]},
+		{Name: "interface", Value: rest[i+1:]},
+	}
+}
+
+func mhRule(name string) (string, []telemetry.Label) {
+	const prefix = "mh."
+	if !strings.HasPrefix(name, prefix) {
+		return "", nil
+	}
+	rest, metric := trimKnownSuffix(strings.TrimPrefix(name, prefix),
+		[]string{"flag_checks", "capture_ns", "restore_ns", "errors"})
+	if metric == "" || rest == "" {
+		return "", nil
+	}
+	return "mh_" + metric, []telemetry.Label{{Name: "instance", Value: rest}}
+}
+
+func selfhealRule(name string) (string, []telemetry.Label) {
+	const prefix = "selfheal."
+	if !strings.HasPrefix(name, prefix) {
+		return "", nil
+	}
+	rest, metric := trimKnownSuffix(strings.TrimPrefix(name, prefix),
+		[]string{"members", "pending"})
+	if metric == "" || rest == "" {
+		return "", nil
+	}
+	return "selfheal_" + metric, []telemetry.Label{{Name: "group", Value: rest}}
+}

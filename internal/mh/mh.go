@@ -127,6 +127,7 @@ type Runtime struct {
 
 	telem        *telemetry.Registry
 	flagChecks   *telemetry.Counter   // nil (no-op) without telemetry
+	errCount     *telemetry.Counter   // application errors (ReportError)
 	captureNs    *telemetry.Histogram // first Capture -> divulged
 	restoreNs    *telemetry.Histogram // Decode -> FinishRestore
 	captureStart time.Time
@@ -179,6 +180,7 @@ func New(port bus.Port, opts ...Option) *Runtime {
 	if r.telem != nil {
 		prefix := "mh." + port.Name() + "."
 		r.flagChecks = r.telem.Counter(prefix + "flag_checks")
+		r.errCount = r.telem.Counter(prefix + "errors")
 		r.captureNs = r.telem.Histogram(prefix + "capture_ns")
 		r.restoreNs = r.telem.Histogram(prefix + "restore_ns")
 	}
@@ -201,6 +203,15 @@ func (r *Runtime) record(err error) {
 func (r *Runtime) failFatal(err error) {
 	r.record(err)
 	r.fatal(err)
+}
+
+// ReportError counts one application-level error against this instance's
+// telemetry (mh.<instance>.errors). The health checker reads its windowed
+// rate; module code calls it for failures it handles itself — a degraded
+// module that still answers traffic is invisible to the crash detector but
+// not to the error burn rate. A no-op without telemetry.
+func (r *Runtime) ReportError() {
+	r.errCount.Inc()
 }
 
 // Heap returns the heap registry for programmer-managed state (Section 1.2:

@@ -43,6 +43,12 @@ type ReplaceOptions struct {
 	// module keeps running. The record/replay subsystem wires its
 	// replay-the-recorded-tail gate here (Config.PreflightReplay).
 	Preflight func(old, new string) error
+	// HealthNote, when set, is evaluated alongside Preflight and its
+	// result recorded as a health_check span note in the transaction
+	// trace — the candidate-vs-incumbent verdict an operator reads from
+	// `reconfigctl trace <txid>`. Purely observational: it never vetoes
+	// (use Preflight for that).
+	HealthNote func(old, new string) string
 }
 
 // Replace performs the Figure 5 reconfiguration script: replace instance

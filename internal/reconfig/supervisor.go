@@ -1,11 +1,15 @@
 package reconfig
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/telemetry/evlog"
+	"repro/internal/telemetry/health"
 )
 
 // Supervisor watches one replica group and heals member crashes without
@@ -33,13 +37,14 @@ type Supervisor struct {
 	launcher Launcher
 	cfg      SupervisorConfig
 
-	mu      sync.Mutex
-	probes  map[string]*replicaProbe
-	ckpts   map[string][]byte    // newest checkpoint per member
-	newest  []byte               // newest checkpoint from any member
-	pending map[string]time.Time // dead members awaiting rebuild -> detection time
-	gen     int
-	stats   SupervisorStats
+	mu         sync.Mutex
+	probes     map[string]*replicaProbe
+	ckpts      map[string][]byte    // newest checkpoint per member
+	newest     []byte               // newest checkpoint from any member
+	pending    map[string]time.Time // dead members awaiting rebuild -> detection time
+	lastHealth map[string]health.Level
+	gen        int
+	stats      SupervisorStats
 
 	pollMu sync.Mutex // serializes Poll (detection + blocking rebuild)
 	stop   chan struct{}
@@ -60,6 +65,14 @@ type SupervisorConfig struct {
 	Timeouts Timeouts
 	// Now supplies the clock (default time.Now); tests inject a fake.
 	Now func() time.Time
+	// Health, when set, arms the verdict-based detector: a member whose
+	// windowed verdict (against its live peers as baseline) is Critical is
+	// marked out and rebuilt exactly like a crash — the second failure
+	// signal for modules that degrade without dying.
+	Health *health.Checker
+	// Events, when set, receives structured supervision events (detection,
+	// health transitions with evidence windows, recovery outcomes).
+	Events *evlog.Log
 }
 
 // SupervisorStats counts supervision activity.
@@ -75,6 +88,9 @@ type SupervisorStats struct {
 	RetriesBusy int64
 	// Failed counts rebuild transactions that rolled back.
 	Failed int64
+	// HealthDetected counts members marked out on a Critical health
+	// verdict (a subset of Detected).
+	HealthDetected int64
 	// LastError is the most recent rebuild failure, "" when none.
 	LastError string
 }
@@ -108,12 +124,13 @@ func NewSupervisor(p *Primitives, launcher Launcher, cfg SupervisorConfig) (*Sup
 		cfg.Now = time.Now
 	}
 	s := &Supervisor{
-		p:        p,
-		launcher: launcher,
-		cfg:      cfg,
-		probes:   map[string]*replicaProbe{},
-		ckpts:    map[string][]byte{},
-		pending:  map[string]time.Time{},
+		p:          p,
+		launcher:   launcher,
+		cfg:        cfg,
+		probes:     map[string]*replicaProbe{},
+		ckpts:      map[string][]byte{},
+		pending:    map[string]time.Time{},
+		lastHealth: map[string]health.Level{},
 	}
 	// Replica health gauges, evaluated at scrape time (no poll-path cost):
 	// live member count and corpses awaiting rebuild.
@@ -164,7 +181,33 @@ func (s *Supervisor) ReportExit(member string, cause error) {
 			detail = cause.Error()
 		}
 		s.p.log("selfheal detect %s (%s)", member, detail)
+		s.event("detect_exit", member, detail)
 	}
+}
+
+// event appends one supervision record to the structured event log (a
+// no-op when no log is configured — Append is nil-safe).
+func (s *Supervisor) event(kind, inst, detail string) {
+	s.cfg.Events.Append(evlog.Record{
+		Source:   "supervisor",
+		Kind:     kind,
+		Instance: inst,
+		Detail:   detail,
+	})
+}
+
+// eventVerdict records a health-level transition with the full verdict —
+// evidence windows included — as the event detail, so the log shows *why*
+// the supervisor acted, not just that it did.
+func (s *Supervisor) eventVerdict(inst string, v health.Verdict) {
+	if s.cfg.Events == nil {
+		return
+	}
+	detail, err := json.Marshal(v)
+	if err != nil {
+		detail = []byte(v.Summary())
+	}
+	s.event("health_"+v.Level.String(), inst, string(detail))
 }
 
 // markDeadLocked marks a member out of the group (idempotently) and queues
@@ -191,9 +234,42 @@ func (s *Supervisor) markDeadLocked(member string) bool {
 		return false
 	}
 	delete(s.probes, member)
+	delete(s.lastHealth, member)
 	s.pending[member] = s.cfg.Now()
 	s.stats.Detected++
 	return true
+}
+
+// healthPassLocked evaluates every live member's verdict against its peers
+// and returns the members judged Critical. Level transitions (in either
+// direction) are recorded in the event log with their evidence windows.
+func (s *Supervisor) healthPassLocked(names []string) []string {
+	if s.cfg.Health == nil {
+		return nil
+	}
+	var critical []string
+	for _, name := range names {
+		if _, dead := s.pending[name]; dead {
+			continue
+		}
+		peers := make([]string, 0, len(names)-1)
+		for _, p := range names {
+			if p != name {
+				if _, dead := s.pending[p]; !dead {
+					peers = append(peers, p)
+				}
+			}
+		}
+		v := s.cfg.Health.Check(name, peers)
+		if prev := s.lastHealth[name]; v.Level != prev {
+			s.lastHealth[name] = v.Level
+			s.eventVerdict(name, v)
+		}
+		if v.Level == health.Critical {
+			critical = append(critical, name)
+		}
+	}
+	return critical
 }
 
 // Poll runs one detection-and-rebuild pass: stalled members are marked out,
@@ -243,6 +319,15 @@ func (s *Supervisor) Poll() {
 	for _, name := range stalled {
 		if s.markDeadLocked(name) {
 			s.p.log("selfheal detect %s (stalled)", name)
+			s.event("detect_stall", name, "")
+		}
+	}
+	// Second signal: members that are alive and consuming but behaving
+	// badly — sustained error burn or latency blowout against their peers.
+	for _, name := range s.healthPassLocked(names) {
+		if s.markDeadLocked(name) {
+			s.stats.HealthDetected++
+			s.p.log("selfheal detect %s (health critical)", name)
 		}
 	}
 	corpses := make([]string, 0, len(s.pending))
@@ -288,11 +373,13 @@ func (s *Supervisor) rebuild(dead string) {
 		s.stats.Recovered++
 		s.stats.LastError = ""
 		s.p.bus.Telemetry().Histogram("selfheal.recovery_ns").Observe(s.cfg.Now().Sub(detected))
+		s.event("recovered", dead, "rebuilt as "+newName)
 	case errors.Is(err, ErrReconfigBusy):
 		s.stats.RetriesBusy++
 	default:
 		s.stats.Failed++
 		s.stats.LastError = err.Error()
+		s.event("rebuild_failed", dead, err.Error())
 	}
 }
 

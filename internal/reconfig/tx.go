@@ -360,6 +360,15 @@ func ReplaceTx(p *Primitives, launcher Launcher, old string, opts ReplaceOptions
 		return abort(err)
 	}
 
+	// Health note: record the windowed candidate-vs-incumbent verdict in
+	// the transaction trace while both instances still exist. This is the
+	// paper's "operator observes the replacement" step landing in the
+	// span timeline rather than on a terminal.
+	if opts.HealthNote != nil {
+		tx.StartSpan("health_check")
+		tx.Annotate("health_check " + opts.HealthNote(old, opts.NewName))
+	}
+
 	// Pre-flight gate: the restored clone is vetted against recorded
 	// traffic (or whatever check the caller supplied) while every step is
 	// still journaled — a veto aborts through the same rollback as any

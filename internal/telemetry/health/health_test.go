@@ -1,0 +1,207 @@
+package health
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+	"repro/internal/telemetry/timeseries"
+)
+
+type fixture struct {
+	reg    *telemetry.Registry
+	roller *timeseries.Roller
+	ns     int64
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	f := &fixture{reg: telemetry.NewRegistry(), ns: 1_000_000_000}
+	f.roller = timeseries.New(f.reg, timeseries.Config{
+		Window:  time.Second,
+		Windows: 32,
+		Now:     func() time.Time { return time.Unix(0, f.ns) },
+	})
+	return f
+}
+
+func (f *fixture) roll() {
+	f.ns += int64(time.Second)
+	f.roller.Roll()
+}
+
+// traffic records one window of activity for an instance: delivered
+// messages on iface "req", errors, and a latency population.
+func (f *fixture) traffic(inst string, delivered, errors int64, latNs int64, latN int) {
+	f.reg.Counter("bus.iface." + inst + ".req.delivered").Add(delivered)
+	if errors > 0 {
+		f.reg.Counter("mh." + inst + ".errors").Add(errors)
+	}
+	h := f.reg.Histogram("bus.iface." + inst + ".req.delivery_latency_ns")
+	for i := 0; i < latN; i++ {
+		h.ObserveNs(latNs)
+	}
+}
+
+func TestHealthyInstance(t *testing.T) {
+	f := newFixture(t)
+	c := NewChecker(f.roller, Config{})
+	for i := 0; i < 6; i++ {
+		f.traffic("worker.1", 50, 0, 1000, 50)
+		f.roll()
+	}
+	v := c.Check("worker.1", nil)
+	if v.Level != Healthy {
+		t.Fatalf("level = %s, want healthy: %s", v.Level, v.Summary())
+	}
+	if len(v.Evidence) == 0 {
+		t.Error("healthy verdict carries no evidence windows")
+	}
+}
+
+func TestInsufficientDataStaysHealthy(t *testing.T) {
+	f := newFixture(t)
+	c := NewChecker(f.roller, Config{})
+	// Terrible error rate, but only one window and 4 samples.
+	f.traffic("cand", 2, 2, 0, 0)
+	f.roll()
+	v := c.Check("cand", nil)
+	if v.Level != Healthy {
+		t.Fatalf("level = %s, want healthy while under min data", v.Level)
+	}
+	if len(v.Reasons) == 0 || !strings.Contains(v.Reasons[0], "insufficient data") {
+		t.Errorf("reasons = %v, want insufficient-data", v.Reasons)
+	}
+}
+
+func TestDegradedOnErrorRate(t *testing.T) {
+	f := newFixture(t)
+	c := NewChecker(f.roller, Config{})
+	for i := 0; i < 8; i++ {
+		f.traffic("cand", 100, 10, 0, 0) // 9% error rate, below the 25% burn
+		f.roll()
+	}
+	v := c.Check("cand", nil)
+	if v.Level != Degraded {
+		t.Fatalf("level = %s, want degraded: %s", v.Level, v.Summary())
+	}
+	if v.ErrorRate < 0.05 {
+		t.Errorf("error rate = %.3f, want >= 0.05", v.ErrorRate)
+	}
+}
+
+func TestCriticalOnErrorBurn(t *testing.T) {
+	f := newFixture(t)
+	c := NewChecker(f.roller, Config{})
+	// Clean history, then three windows burning at 50%.
+	for i := 0; i < 5; i++ {
+		f.traffic("cand", 100, 0, 0, 0)
+		f.roll()
+	}
+	for i := 0; i < 3; i++ {
+		f.traffic("cand", 100, 50, 0, 0)
+		f.roll()
+	}
+	v := c.Check("cand", nil)
+	if v.Level != Critical {
+		t.Fatalf("level = %s, want critical: %s", v.Level, v.Summary())
+	}
+	if v.ShortErrorRate < 0.25 {
+		t.Errorf("short rate = %.3f, want >= 0.25", v.ShortErrorRate)
+	}
+}
+
+func TestSingleBadWindowDoesNotEscalate(t *testing.T) {
+	f := newFixture(t)
+	c := NewChecker(f.roller, Config{})
+	for i := 0; i < 7; i++ {
+		f.traffic("cand", 100, 0, 0, 0)
+		f.roll()
+	}
+	// One bad window: 30% errors. The long span dilutes it well below 5%.
+	f.traffic("cand", 100, 30, 0, 0)
+	f.roll()
+	v := c.Check("cand", nil)
+	if v.Level != Healthy {
+		t.Fatalf("level = %s after one bad window, want healthy: %s", v.Level, v.Summary())
+	}
+}
+
+func TestLatencyVsBaseline(t *testing.T) {
+	f := newFixture(t)
+	c := NewChecker(f.roller, Config{})
+	for i := 0; i < 6; i++ {
+		f.traffic("incumbent", 100, 0, 10_000, 100) // ~10us baseline
+		f.traffic("cand", 100, 0, 1_000_000, 100)   // ~1ms sustained
+		f.roll()
+	}
+	v := c.Check("cand", []string{"incumbent"})
+	if v.Level != Critical {
+		t.Fatalf("level = %s, want critical on 100x sustained p99: %s", v.Level, v.Summary())
+	}
+	if v.BaselineP99Ns == 0 {
+		t.Error("baseline p99 not recorded in verdict")
+	}
+	// The incumbent itself stays healthy against the candidate-free check.
+	if got := c.Check("incumbent", nil); got.Level != Healthy {
+		t.Errorf("incumbent level = %s, want healthy", got.Level)
+	}
+}
+
+func TestLatencySkippedWithoutBaseline(t *testing.T) {
+	f := newFixture(t)
+	c := NewChecker(f.roller, Config{})
+	for i := 0; i < 6; i++ {
+		f.traffic("cand", 100, 0, 5_000_000, 100)
+		f.roll()
+	}
+	v := c.Check("cand", nil)
+	if v.Level != Healthy {
+		t.Fatalf("level = %s, want healthy with no baseline to compare against", v.Level)
+	}
+}
+
+func TestDottedInstanceNamesDoNotCrossMatch(t *testing.T) {
+	f := newFixture(t)
+	c := NewChecker(f.roller, Config{})
+	for i := 0; i < 6; i++ {
+		f.traffic("pool.1", 100, 50, 0, 0) // erroring replica
+		f.traffic("pool", 100, 0, 0, 0)    // distinct healthy instance
+		f.roll()
+	}
+	if v := c.Check("pool.1", nil); v.Level == Healthy {
+		t.Errorf("pool.1 = healthy, want degraded/critical: %s", v.Summary())
+	}
+	if v := c.Check("pool", nil); v.Level != Healthy {
+		t.Errorf("pool = %s, its replica's errors leaked across the name boundary: %s", v.Level, v.Summary())
+	}
+	// "pool.1"'s windows must not include "pool"'s deliveries.
+	wins := InstanceWindows(f.roller, "pool.1", 0)
+	for _, w := range wins {
+		if w.Delivered > 100 {
+			t.Fatalf("window delivered = %d, cross-instance aggregation", w.Delivered)
+		}
+	}
+}
+
+func TestNilCheckerAndRoller(t *testing.T) {
+	var c *Checker
+	if v := c.Check("x", nil); v.Level != Healthy {
+		t.Error("nil checker verdict not healthy")
+	}
+	c2 := NewChecker(nil, Config{})
+	if v := c2.Check("x", nil); v.Level != Healthy {
+		t.Error("nil-roller checker verdict not healthy")
+	}
+	if InstanceWindows(nil, "x", 0) != nil {
+		t.Error("nil roller windows not nil")
+	}
+}
+
+func TestVerdictJSONLevel(t *testing.T) {
+	b, err := Critical.MarshalJSON()
+	if err != nil || string(b) != `"critical"` {
+		t.Fatalf("MarshalJSON = %s, %v", b, err)
+	}
+}

@@ -13,6 +13,10 @@ import (
 // overflow.
 const numBuckets = 64
 
+// NumBuckets is the exported bucket count, for consumers (the time-series
+// roller) that difference raw bucket snapshots across windows.
+const NumBuckets = numBuckets
+
 // Histogram is a fixed-bucket latency histogram with power-of-two bucket
 // boundaries. Observe is a handful of atomic operations and never
 // allocates; percentile estimates are computed at snapshot time by linear
@@ -77,6 +81,73 @@ func (h *Histogram) Count() int64 {
 		return 0
 	}
 	return h.count.Load()
+}
+
+// Sum returns the cumulative sum of observed nanoseconds (0 on nil).
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Buckets returns a copy of the raw power-of-two bucket counters. The copy
+// is one atomic load per bucket — consistent per bucket, not across buckets
+// — which is exactly what windowed delta rollups need: differencing two
+// snapshots of a monotone counter is safe per bucket.
+func (h *Histogram) Buckets() [NumBuckets]int64 {
+	var out [NumBuckets]int64
+	if h == nil {
+		return out
+	}
+	for i := 0; i < numBuckets; i++ {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}
+
+// BucketQuantile estimates the q-th quantile of a standalone power-of-two
+// bucket count array (e.g. a windowed delta of two Buckets snapshots) by
+// the same linear interpolation Quantile uses. total must be the sum of
+// counts; returns 0 when total <= 0.
+func BucketQuantile(counts *[NumBuckets]int64, total int64, q float64) int64 {
+	if total <= 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	var cum int64
+	for i := 0; i < numBuckets; i++ {
+		c := counts[i]
+		if c <= 0 {
+			continue
+		}
+		if cum+c >= rank {
+			if i == 0 {
+				return 0
+			}
+			lower := int64(1) << (i - 1)
+			upper := int64(1) << i
+			if i == 1 {
+				lower = 1
+			}
+			pos := float64(rank-cum) / float64(c)
+			return lower + int64(pos*float64(upper-lower))
+		}
+		cum += c
+	}
+	return 0
 }
 
 // Quantile estimates the q-th quantile (q in [0,1]) in nanoseconds by

@@ -275,6 +275,47 @@ func (r *Registry) Snapshot() Snapshot {
 	return s
 }
 
+// Handles is a live view of a registry's metric handles by name. The maps
+// are fresh copies (safe to iterate without the registry lock) but the
+// handles are the live metrics: loading through them reads the same atomics
+// the hot paths write. The time-series roller re-fetches this once per
+// window, off every message path.
+type Handles struct {
+	Counters   map[string]*Counter
+	Gauges     map[string]*Gauge
+	GaugeFns   map[string]func() int64
+	Histograms map[string]*Histogram
+}
+
+// Handles returns the current metric handles. Returns zero-value Handles on
+// a nil registry.
+func (r *Registry) Handles() Handles {
+	if r == nil {
+		return Handles{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := Handles{
+		Counters:   make(map[string]*Counter, len(r.counters)),
+		Gauges:     make(map[string]*Gauge, len(r.gauges)),
+		GaugeFns:   make(map[string]func() int64, len(r.gaugeFns)),
+		Histograms: make(map[string]*Histogram, len(r.hists)),
+	}
+	for k, v := range r.counters {
+		h.Counters[k] = v
+	}
+	for k, v := range r.gauges {
+		h.Gauges[k] = v
+	}
+	for k, v := range r.gaugeFns {
+		h.GaugeFns[k] = v
+	}
+	for k, v := range r.hists {
+		h.Histograms[k] = v
+	}
+	return h
+}
+
 // Names returns the sorted names of all registered metrics (tests and the
 // operator surface use it).
 func (r *Registry) Names() []string {

@@ -3,20 +3,26 @@ package reconf
 import (
 	"encoding/json"
 	"fmt"
+	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"strings"
+	"time"
 
+	"repro/internal/bus"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/evlog"
 	"repro/internal/telemetry/trace"
 )
 
 // This file is the HTTP observability surface of an App — the pull
-// counterpart of the reconfigctl push protocol (control.go). Four endpoints:
+// counterpart of the reconfigctl push protocol (control.go). Endpoints:
 //
 //	/metrics     the full telemetry registry plus the bus activity counters,
-//	             in the Prometheus text exposition format
+//	             in the Prometheus text exposition format with per-instance
+//	             labels (bus_iface_delivered{instance,interface}, ...)
 //	/healthz     liveness/readiness: 200 "ok", or 503 "reconfiguring" while
 //	/readyz      a transactional reconfiguration is in flight (in this
 //	             single-process reproduction the two collapse to one signal)
@@ -28,14 +34,39 @@ import (
 //	/record      the record ring's status; ?enable=on|off toggles recording
 //	/replay/{id} replay the recorded window against instance id's module
 //	             in-process and report whether the outputs reproduce
+//	/timeseries  windowed rollups: no params lists metric names; ?metric=
+//	             returns its windows (?window= caps how many)
+//	/health/{i}  instance i's structured verdict (?baseline=a,b overrides
+//	             the default peer baseline)
+//	/events      the structured event log from ?since= (exclusive cursor);
+//	             ?wait=seconds long-polls for fresh events
+//	/debug/pprof runtime profiling, only when enabled with WithPprof
 type ObsServer struct {
 	srv *http.Server
 	l   net.Listener
 }
 
+// ObsOption configures ServeObs.
+type ObsOption func(*obsConfig)
+
+type obsConfig struct {
+	pprof bool
+}
+
+// WithPprof mounts net/http/pprof under /debug/pprof/ on the obs mux. Off
+// by default: profiling endpoints expose stacks and heap contents, so they
+// are opt-in (polybus -pprof).
+func WithPprof() ObsOption {
+	return func(c *obsConfig) { c.pprof = true }
+}
+
 // ServeObs starts serving the observability endpoints on l. Close the
 // returned server to stop.
-func (a *App) ServeObs(l net.Listener) *ObsServer {
+func (a *App) ServeObs(l net.Listener, opts ...ObsOption) *ObsServer {
+	var cfg obsConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", a.handleMetrics)
 	mux.HandleFunc("/healthz", a.handleHealth)
@@ -45,7 +76,25 @@ func (a *App) ServeObs(l net.Listener) *ObsServer {
 	mux.HandleFunc("/replicas", a.handleReplicas)
 	mux.HandleFunc("/record", a.handleRecord)
 	mux.HandleFunc("/replay/", a.handleReplay)
-	srv := &http.Server{Handler: mux}
+	mux.HandleFunc("/timeseries", a.handleTimeseries)
+	mux.HandleFunc("/health/", a.handleInstanceHealth)
+	mux.HandleFunc("/events", a.handleEvents)
+	if cfg.pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	// Slowloris hardening: a client must finish its headers and body
+	// promptly. WriteTimeout leaves room for the /events long-poll (capped
+	// at maxEventWait) plus response transfer.
+	srv := &http.Server{
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       15 * time.Second,
+		WriteTimeout:      maxEventWait + 30*time.Second,
+	}
 	go func() { _ = srv.Serve(l) }() //archlint:spawn HTTP server; exits when srv.Close is called
 	return &ObsServer{srv: srv, l: l}
 }
@@ -77,7 +126,7 @@ func (a *App) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintf(w, "# TYPE trace_recorder_recorded_total counter\ntrace_recorder_recorded_total %d\n", rec.Recorded())
 		fmt.Fprintf(w, "# TYPE trace_recorder_memory_bound_bytes gauge\ntrace_recorder_memory_bound_bytes %d\n", rec.MemoryBound())
 	}
-	telemetry.WritePrometheus(w, a.Telemetry())
+	telemetry.WritePrometheus(w, a.Telemetry(), bus.PromLabelRules()...)
 }
 
 func (a *App) handleHealth(w http.ResponseWriter, _ *http.Request) {
@@ -170,9 +219,114 @@ func (a *App) handleReplay(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, rep)
 }
 
+// handleTimeseries serves windowed rollups. Without ?metric= it lists the
+// live series names; with one it returns the metric's retained windows,
+// optionally capped by ?window= (a count of trailing windows).
+func (a *App) handleTimeseries(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	metric := q.Get("metric")
+	if metric == "" {
+		writeJSON(w, map[string]any{
+			"window_ns": int64(a.roller.Window()),
+			"windows":   a.roller.Depth(),
+			"rolled":    a.roller.Rolled(),
+			"metrics":   a.roller.Names(),
+		})
+		return
+	}
+	k := 0
+	for _, key := range []string{"window", "windows"} {
+		if v := q.Get(key); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 0 {
+				http.Error(w, "window must be a non-negative window count", http.StatusBadRequest)
+				return
+			}
+			k = n
+		}
+	}
+	s, ok := a.roller.Query(metric, k)
+	if !ok {
+		http.Error(w, "no series for metric "+metric, http.StatusNotFound)
+		return
+	}
+	writeJSON(w, s)
+}
+
+// handleInstanceHealth serves /health/{instance}: the structured verdict
+// with its evidence windows. ?baseline=a,b overrides the default baseline
+// (the instance's live replica-group peers).
+func (a *App) handleInstanceHealth(w http.ResponseWriter, r *http.Request) {
+	inst := strings.TrimPrefix(r.URL.Path, "/health/")
+	if inst == "" {
+		http.Error(w, "usage: /health/{instance}", http.StatusBadRequest)
+		return
+	}
+	var baseline []string
+	if b := r.URL.Query().Get("baseline"); b != "" {
+		for _, p := range strings.Split(b, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				baseline = append(baseline, p)
+			}
+		}
+	}
+	if _, err := a.bus.Info(inst); err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	writeJSON(w, a.Health(inst, baseline))
+}
+
+// maxEventWait caps the /events long-poll, keeping every request bounded
+// well under the server's WriteTimeout.
+const maxEventWait = 30 * time.Second
+
+// handleEvents serves the structured event log from an exclusive cursor:
+// /events?since=N returns records with seq > N. ?wait=seconds long-polls
+// until a fresh record arrives or the wait elapses (empty list).
+func (a *App) handleEvents(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	var since uint64
+	if v := q.Get("since"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			http.Error(w, "since must be an event cursor", http.StatusBadRequest)
+			return
+		}
+		since = n
+	}
+	var wait time.Duration
+	if v := q.Get("wait"); v != "" {
+		secs, err := strconv.ParseFloat(v, 64)
+		if err != nil || secs < 0 {
+			http.Error(w, "wait must be non-negative seconds", http.StatusBadRequest)
+			return
+		}
+		wait = time.Duration(secs * float64(time.Second))
+		if wait > maxEventWait {
+			wait = maxEventWait
+		}
+	}
+	recs := a.events.Since(since)
+	if len(recs) == 0 && wait > 0 {
+		recs = a.events.Wait(since, wait)
+	}
+	if recs == nil {
+		recs = []evlog.Record{}
+	}
+	writeJSON(w, map[string]any{
+		"cursor": a.events.Cursor(),
+		"events": recs,
+	})
+}
+
 func writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	_ = enc.Encode(v)
+	if err := enc.Encode(v); err != nil {
+		// The usual cause is a client hanging up mid-response; the error
+		// is invisible to the client either way, so log it.
+		log.Printf("obs: encode response: %v", err)
+	}
 }

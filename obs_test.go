@@ -66,7 +66,9 @@ func TestObsMetricsEndpoint(t *testing.T) {
 	for _, want := range []string{
 		"# TYPE bus_delivered_total counter",
 		"bus_rebinds_total 1",
-		"# TYPE bus_iface_display_temper_delivered counter",
+		"# TYPE bus_iface_delivered counter",
+		`bus_iface_delivered{instance="display",interface="temper"}`,
+		`bus_iface_queue_depth{instance="display",interface="temper"}`,
 		"# TYPE reconfig_span_quiesce_wait_ns histogram",
 		`reconfig_span_quiesce_wait_ns_bucket{le="+Inf"} 1`,
 		"reconfig_tx_total_ns_count 1",
@@ -193,5 +195,142 @@ func TestObsTracesEndpoints(t *testing.T) {
 
 	if code, _ := httpGet(t, base+"/trace/tx-9999"); code != http.StatusNotFound {
 		t.Errorf("/trace/tx-9999 returned %d, want 404", code)
+	}
+}
+
+// TestObsTimeseriesHealthEvents exercises the windowed-telemetry surface
+// end to end: /timeseries lists and serves windowed series, /health/{i}
+// returns a structured verdict, and /events tails the structured log (the
+// bus's own topology events land there through the observer bridge).
+func TestObsTimeseriesHealthEvents(t *testing.T) {
+	app, d, _ := startInterrupted(t)
+	base := serveObs(t, app)
+	d.temperature(60)
+	finishComputation(t, d)
+
+	// Roll two windows by hand rather than waiting out the wall clock.
+	app.Timeseries().Roll()
+	app.Timeseries().Roll()
+
+	code, body := httpGet(t, base+"/timeseries")
+	if code != http.StatusOK {
+		t.Fatalf("/timeseries returned %d", code)
+	}
+	var listing struct {
+		WindowNs int64    `json:"window_ns"`
+		Metrics  []string `json:"metrics"`
+	}
+	if err := json.Unmarshal([]byte(body), &listing); err != nil {
+		t.Fatalf("/timeseries listing: %v\n%s", err, body)
+	}
+	metric := "bus.iface.display.temper.delivered"
+	found := false
+	for _, m := range listing.Metrics {
+		if m == metric {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("/timeseries listing lacks %s: %v", metric, listing.Metrics)
+	}
+
+	code, body = httpGet(t, base+"/timeseries?metric="+metric+"&window=1")
+	if code != http.StatusOK {
+		t.Fatalf("/timeseries?metric returned %d: %s", code, body)
+	}
+	var series struct {
+		Kind   string `json:"kind"`
+		Points []struct {
+			Value int64 `json:"value"`
+		} `json:"points"`
+	}
+	if err := json.Unmarshal([]byte(body), &series); err != nil {
+		t.Fatalf("/timeseries series: %v\n%s", err, body)
+	}
+	if series.Kind != "counter" || len(series.Points) != 1 {
+		t.Errorf("series = kind %s with %d points, want counter with 1 window", series.Kind, len(series.Points))
+	}
+	if code, _ := httpGet(t, base+"/timeseries?metric=no.such.metric"); code != http.StatusNotFound {
+		t.Errorf("/timeseries unknown metric returned %d, want 404", code)
+	}
+
+	code, body = httpGet(t, base+"/health/display")
+	if code != http.StatusOK {
+		t.Fatalf("/health/display returned %d: %s", code, body)
+	}
+	var verdict struct {
+		Instance string `json:"instance"`
+		Level    string `json:"level"`
+	}
+	if err := json.Unmarshal([]byte(body), &verdict); err != nil {
+		t.Fatalf("/health verdict: %v\n%s", err, body)
+	}
+	if verdict.Instance != "display" || verdict.Level == "" {
+		t.Errorf("verdict = %+v, want instance display with a level", verdict)
+	}
+	if code, _ := httpGet(t, base+"/health/no-such-instance"); code != http.StatusNotFound {
+		t.Errorf("/health unknown instance returned %d, want 404", code)
+	}
+	// /healthz still resolves to the liveness probe, not the verdict route.
+	if code, body := httpGet(t, base+"/healthz"); code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Errorf("/healthz = %d %q after adding /health/", code, body)
+	}
+
+	code, body = httpGet(t, base+"/events")
+	if code != http.StatusOK {
+		t.Fatalf("/events returned %d", code)
+	}
+	var events struct {
+		Cursor uint64 `json:"cursor"`
+		Events []struct {
+			Seq    uint64 `json:"seq"`
+			Source string `json:"source"`
+			Kind   string `json:"kind"`
+		} `json:"events"`
+	}
+	if err := json.Unmarshal([]byte(body), &events); err != nil {
+		t.Fatalf("/events: %v\n%s", err, body)
+	}
+	if len(events.Events) == 0 {
+		t.Fatal("/events empty after Load (add-instance events expected)")
+	}
+	sawBus := false
+	for _, e := range events.Events {
+		if e.Source == "bus" && e.Kind == "add-instance" {
+			sawBus = true
+		}
+	}
+	if !sawBus {
+		t.Error("no bus add-instance event bridged into the log")
+	}
+	// Cursor paging: everything before the cursor is excluded.
+	code, body = httpGet(t, fmt.Sprintf("%s/events?since=%d", base, events.Cursor))
+	if code != http.StatusOK {
+		t.Fatalf("/events?since returned %d", code)
+	}
+	var tail struct {
+		Events []json.RawMessage `json:"events"`
+	}
+	if err := json.Unmarshal([]byte(body), &tail); err != nil {
+		t.Fatal(err)
+	}
+	if len(tail.Events) != 0 {
+		t.Errorf("/events?since=cursor returned %d events, want 0", len(tail.Events))
+	}
+}
+
+// TestObsServerTimeoutsSet pins the slowloris hardening: the obs server
+// must carry read/header/write timeouts.
+func TestObsServerTimeoutsSet(t *testing.T) {
+	app, _, _ := startInterrupted(t)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := app.ServeObs(l)
+	t.Cleanup(func() { srv.Close() })
+	if srv.srv.ReadHeaderTimeout <= 0 || srv.srv.ReadTimeout <= 0 || srv.srv.WriteTimeout <= 0 {
+		t.Errorf("obs server timeouts unset: header=%v read=%v write=%v",
+			srv.srv.ReadHeaderTimeout, srv.srv.ReadTimeout, srv.srv.WriteTimeout)
 	}
 }

@@ -46,6 +46,9 @@ import (
 	"repro/internal/reconfig"
 	"repro/internal/replay"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/evlog"
+	"repro/internal/telemetry/health"
+	"repro/internal/telemetry/timeseries"
 	"repro/internal/telemetry/trace"
 	"repro/internal/transform"
 )
@@ -125,6 +128,19 @@ type Config struct {
 	// journaled rollback if their output sequences diverge. Requires
 	// RecordBuffer > 0.
 	PreflightReplay bool
+	// TimeseriesWindow is the windowed-telemetry rollup period (default
+	// 1s): the background roller samples every registry atomic once per
+	// window, off every message path.
+	TimeseriesWindow time.Duration
+	// TimeseriesWindows is the rollup ring depth in windows (default 120,
+	// i.e. two minutes of 1s history).
+	TimeseriesWindows int
+	// EventBuffer is the structured event log's ring capacity in events
+	// (default 1024).
+	EventBuffer int
+	// Health parameterizes the per-instance verdict thresholds; zero
+	// fields take the burn-rate defaults (see health.Config).
+	Health health.Config
 }
 
 // Mode aliases, so callers need not import internal packages.
@@ -163,6 +179,9 @@ type App struct {
 	prims    *reconfig.Primitives
 	cfg      Config
 	recorder *replay.Log
+	roller   *timeseries.Roller
+	events   *evlog.Log
+	checker  *health.Checker
 
 	mu        sync.Mutex
 	modules   map[string]*PreparedModule
@@ -236,6 +255,18 @@ func Load(cfg Config) (*App, error) {
 	}
 	a.prims = reconfig.NewPrimitives(a.bus)
 
+	// Observability layer: windowed rollups over the registry atomics, the
+	// structured event log, and the verdict checker reading both. The bus's
+	// topology events feed the log through its async observer mailboxes, so
+	// no message or edit path blocks on the log.
+	a.roller = timeseries.New(a.bus.Telemetry(), timeseries.Config{
+		Window:  cfg.TimeseriesWindow,
+		Windows: cfg.TimeseriesWindows,
+	})
+	a.events = evlog.NewLog(cfg.EventBuffer)
+	a.checker = health.NewChecker(a.roller, cfg.Health)
+	a.bus.Observe(a.bridgeBusEvent)
+
 	for _, m := range spec.Modules {
 		pm, err := a.prepareModule(m)
 		if err != nil {
@@ -284,6 +315,8 @@ func Load(cfg Config) (*App, error) {
 				PollInterval: cfg.SupervisorPoll,
 				StallAfter:   cfg.StallAfter,
 				Timeouts:     cfg.Timeouts,
+				Health:       a.checker,
+				Events:       a.events,
 			})
 			if err != nil {
 				return nil, err
@@ -425,6 +458,46 @@ func (a *App) MsgTracer() *trace.Tracer { return a.bus.MsgTracer() }
 // application was loaded with Config.TraceSample > 0).
 func (a *App) FlightRecorder() *trace.Recorder { return a.bus.MsgTracer().Recorder() }
 
+// Timeseries exposes the windowed-telemetry roller (started with the app).
+func (a *App) Timeseries() *timeseries.Roller { return a.roller }
+
+// Events exposes the structured event log.
+func (a *App) Events() *evlog.Log { return a.events }
+
+// HealthChecker exposes the verdict checker over the app's windowed
+// telemetry.
+func (a *App) HealthChecker() *health.Checker { return a.checker }
+
+// Health evaluates one instance's verdict. An empty baseline defaults to
+// the instance's live replica-group peers, when it has any — the natural
+// incumbents for a healed or canaried member.
+func (a *App) Health(instance string, baseline []string) health.Verdict {
+	if len(baseline) == 0 {
+		if sup := a.supervisorFor(instance); sup != nil {
+			for _, st := range sup.Status().Members {
+				if st.Name != instance {
+					baseline = append(baseline, st.Name)
+				}
+			}
+		}
+	}
+	return a.checker.Check(instance, baseline)
+}
+
+// bridgeBusEvent forwards one bus topology event into the structured event
+// log. It runs on the bus's per-observer drain goroutine, never on a
+// message or edit path.
+func (a *App) bridgeBusEvent(e bus.Event) {
+	a.events.Append(evlog.Record{
+		TimeNs:   e.Time.UnixNano(),
+		Source:   "bus",
+		Kind:     e.Kind.String(),
+		Instance: e.Instance,
+		Detail:   e.Detail,
+		TraceIDs: e.TraceIDs,
+	})
+}
+
 // Launch implements reconfig.Launcher: it starts the runtime of a
 // registered instance.
 func (a *App) Launch(instance string) error {
@@ -555,6 +628,7 @@ func (a *App) Start() error {
 	for _, sup := range a.sups {
 		sup.Start()
 	}
+	a.roller.Start()
 	return nil
 }
 
@@ -638,7 +712,26 @@ func (a *App) ReplaceTx(inst string, opts reconfig.ReplaceOptions) (*reconfig.Tx
 	if opts.Preflight == nil && a.cfg.PreflightReplay {
 		opts.Preflight = a.preflightReplay
 	}
-	return reconfig.ReplaceTx(a.prims, a, inst, opts)
+	if opts.HealthNote == nil {
+		// Candidate vs the instance it replaces: both exist at the
+		// health_check span, so the note captures the comparison the
+		// operator would otherwise make by hand.
+		opts.HealthNote = func(old, new string) string {
+			return a.checker.Check(new, []string{old}).Summary()
+		}
+	}
+	res, err := reconfig.ReplaceTx(a.prims, a, inst, opts)
+	kind, detail := "replace_committed", inst+" -> "+opts.NewName
+	if err != nil {
+		kind = "replace_aborted"
+		detail += ": " + err.Error()
+	}
+	rec := evlog.Record{Source: "tx", Kind: kind, Instance: inst, Detail: detail}
+	if res != nil {
+		rec.Detail = rec.Detail + " tx=" + res.TxID
+	}
+	a.events.Append(rec)
+	return res, err
 }
 
 // PlanReplace returns the steps ReplaceTx would perform, without executing
@@ -667,6 +760,7 @@ func (a *App) Remove(inst string) error {
 // crash wave), deletes every live instance and waits for their runtimes to
 // wind down.
 func (a *App) Stop() {
+	a.roller.Stop()
 	for _, sup := range a.sups {
 		sup.Stop()
 	}

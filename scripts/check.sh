@@ -53,9 +53,15 @@ if [ "$have_baseline" -eq 0 ]; then
 	cp BENCH_bus_throughput.json "$baseline"
 fi
 
-echo "== perf regression gate (scaling ratio, single-sender ns/msg, telemetry-on budget)"
+echo "== timeseries overhead artifact (roller cost per window, hot path with rollups on/off)"
+RECONFIG_TIMESERIES_JSON="$PWD/BENCH_timeseries_overhead.json" \
+	go test -run TestTimeseriesOverheadArtifact -count=1 .
+cat BENCH_timeseries_overhead.json
+
+echo "== perf regression gate (scaling ratio, single-sender ns/msg, telemetry-on and rollups-on budgets)"
 go run ./cmd/perfgate -baseline "$baseline" \
-	-current BENCH_bus_throughput.json -overhead BENCH_overhead.json
+	-current BENCH_bus_throughput.json -overhead BENCH_overhead.json \
+	-timeseries BENCH_timeseries_overhead.json
 rm -f "$baseline"
 
 echo "== wire overhead artifact (TCP write path allocs/msg, pooled frames and encode buffers)"

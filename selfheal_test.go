@@ -17,6 +17,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -425,6 +426,205 @@ func TestReplicasObservability(t *testing.T) {
 		t.Fatal(err)
 	}
 	check("control replicas", doc)
+}
+
+// TestSelfHealDegradedReplicaReplaced is the chaos regression for the
+// supervisor's second detection signal: a replica that is alive and
+// consuming — so stall detection never fires — but slow and erroring on
+// every message. The health checker must judge it Degraded/Critical from
+// its windowed error burn, the verdict must be visible on the
+// /health/{instance} surface, and once armed the supervisor must mark the
+// member out through the health-verdict path (HealthDetected) and rebuild
+// the group, leaving the evidence windows in the structured event log.
+func TestSelfHealDegradedReplicaReplaced(t *testing.T) {
+	var degraded atomic.Value // name of the member currently misbehaving
+	degraded.Store("")
+
+	worker := func(rt *mh.Runtime) {
+		rt.Init()
+		var processed, loc int
+		if rt.Status() == bus.StatusClone {
+			rt.Decode()
+			rt.Restore("main", "", &loc, &processed)
+			rt.FinishRestore()
+		}
+		rt.RegisterSnapshot(func() (*state.State, error) {
+			st := state.New(rt.Name())
+			st.PushFrame(state.Frame{Func: "main", Location: 1,
+				Vars: []state.Var{{Name: "processed", Value: state.IntValue(int64(processed))}}})
+			return st, nil
+		})
+		for {
+			if rt.QueryIfMsgs("in") {
+				var n int
+				rt.Read("in", &n)
+				if degraded.Load() == rt.Name() {
+					// Slow and erroring, but never crashing: the message is
+					// still forwarded, the heartbeat counter keeps moving.
+					rt.ReportError()
+					time.Sleep(500 * time.Microsecond)
+				}
+				processed++
+				rt.Write("out", n)
+			} else {
+				rt.Sleep(1)
+			}
+		}
+	}
+
+	app, err := Load(Config{
+		SpecText: chaosSpec(bus.PolicyRoundRobin),
+		Native: map[string]NativeModule{
+			"worker":    worker,
+			"feeder":    func(rt *mh.Runtime) {},
+			"collector": func(rt *mh.Runtime) {},
+		},
+		SleepUnit:          time.Microsecond,
+		CheckpointInterval: 4,
+		SupervisorPoll:     5 * time.Millisecond,
+		StallAfter:         10 * time.Second, // only the health verdict may detect here
+		TimeseriesWindow:   25 * time.Millisecond,
+		TimeseriesWindows:  64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(app.Stop)
+	for i := 1; i <= 3; i++ {
+		if err := app.Launch(fmt.Sprintf("pool.%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sup := app.Supervisor("pool")
+	if sup == nil {
+		t.Fatal("no supervisor for pool")
+	}
+	app.Timeseries().Start()
+
+	feeder, err := app.AttachDriver("feeder0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	coll, err := app.AttachDriver("collector")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := codec.Default()
+
+	// Sustained background load: the feeder keeps the pool busy while the
+	// collector drains, so every window has traffic to judge.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { //archlint:spawn test feeder; exits when stop closes or the port errors out
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			data, err := c.EncodeValue(state.IntValue(int64(i)))
+			if err != nil {
+				return
+			}
+			if err := feeder.Write("out", data); err != nil {
+				return
+			}
+			time.Sleep(500 * time.Microsecond)
+		}
+	}()
+	go func() { //archlint:spawn test collector drain; exits when the collector port closes
+		defer wg.Done()
+		for {
+			if _, err := coll.Read("in"); err != nil {
+				return
+			}
+		}
+	}()
+	t.Cleanup(func() { close(stop); app.Stop(); wg.Wait() })
+
+	// Warm up until every member has windowed history and checkpoints.
+	deadline := time.Now().Add(10 * time.Second)
+	for app.Timeseries().Rolled() < 4 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	victim := sup.Status().Members[0].Name
+	degradedAt := time.Now()
+	degraded.Store(victim)
+
+	// With the supervisor not yet armed, the verdict surface alone must
+	// flag the member: poll /health/{victim} until Degraded or Critical.
+	base := serveObs(t, app)
+	var verdict struct {
+		Level   string           `json:"level"`
+		Reasons []string         `json:"reasons"`
+		Windows []map[string]any `json:"evidence,omitempty"`
+	}
+	flagged := false
+	for time.Now().Before(deadline) {
+		code, body := httpGet(t, base+"/health/"+victim)
+		if code != 200 {
+			t.Fatalf("/health/%s: status %d", victim, code)
+		}
+		if err := json.Unmarshal([]byte(body), &verdict); err != nil {
+			t.Fatalf("bad verdict: %v\n%s", err, body)
+		}
+		if verdict.Level == "degraded" || verdict.Level == "critical" {
+			flagged = true
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !flagged {
+		t.Fatalf("/health/%s never left healthy (last verdict %+v)", victim, verdict)
+	}
+
+	// Arm the supervisor: the critical verdict must drive a mark-out through
+	// the health path and a rebuild back to 3 members, within bounded
+	// windows (the waitUntil deadline is ~600 windows; in practice a few).
+	sup.Start()
+	h := &chaosHarness{t: t, app: app}
+	h.waitUntil("health-verdict detection", 15*time.Second,
+		func() bool { return sup.Stats().HealthDetected >= 1 })
+	h.waitUntil("rebuild after health mark-out", 15*time.Second,
+		func() bool { return sup.Stats().Recovered >= 1 })
+	detectLatency := time.Since(degradedAt)
+
+	st := sup.Status()
+	if len(st.Members) != 3 {
+		t.Fatalf("group not restored to 3 members: %+v", st)
+	}
+	for _, m := range st.Members {
+		if m.Name == victim {
+			t.Fatalf("degraded member %s still in the group: %+v", victim, st)
+		}
+	}
+
+	// The event log must carry the verdict transition with its evidence
+	// windows, and the recovery that followed it.
+	var sawVerdict, sawRecovered bool
+	for _, r := range app.Events().Since(0) {
+		if r.Source == "supervisor" && r.Instance == victim &&
+			(r.Kind == "health_critical" || r.Kind == "health_degraded") {
+			if !strings.Contains(r.Detail, "evidence") {
+				t.Errorf("health event for %s lacks evidence windows: %s", victim, r.Detail)
+			}
+			sawVerdict = true
+		}
+		if r.Source == "supervisor" && r.Kind == "recovered" && r.Instance == victim {
+			sawRecovered = true
+		}
+	}
+	if !sawVerdict {
+		t.Errorf("no health_* event for %s in the event log", victim)
+	}
+	if !sawRecovered {
+		t.Errorf("no recovered event for %s in the event log", victim)
+	}
+	t.Logf("degraded %s flagged and replaced in %v (~%d windows)",
+		victim, detectLatency, detectLatency/(25*time.Millisecond))
 }
 
 // TestSelfHealRecoveryArtifact measures crash-to-recovered latency at three

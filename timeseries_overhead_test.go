@@ -1,0 +1,136 @@
+package reconf
+
+// TestTimeseriesOverheadArtifact quantifies the windowed-telemetry cost
+// model and writes BENCH_timeseries_overhead.json (scripts/check.sh sets
+// RECONFIG_TIMESERIES_JSON; a plain `go test` run skips it):
+//
+//   - roller: the per-window cost of closing every series — the whole
+//     price of rollups, paid once per window off the hot path — plus the
+//     ring's fixed memory bound.
+//   - message_roundtrip: one bus write+read with the rollup roller
+//     stopped and with it running on a 1ms window against the same
+//     registry. The roller reads the registry's atomics without touching
+//     any message-path lock, so the roundtrip must neither slow down
+//     (cmd/perfgate holds it under the 300 ns budget) nor allocate
+//     (allocs_per_msg_delta must be exactly zero).
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/bus"
+	"repro/internal/telemetry"
+	"repro/internal/telemetry/timeseries"
+)
+
+func TestTimeseriesOverheadArtifact(t *testing.T) {
+	out := os.Getenv("RECONFIG_TIMESERIES_JSON")
+	if out == "" {
+		t.Skip("set RECONFIG_TIMESERIES_JSON=<path> to emit the timeseries overhead artifact")
+	}
+
+	// Roller cost per window over a registry populated like a mid-sized
+	// application: 32 instances, each with the bus's per-interface series.
+	reg := telemetry.NewRegistry()
+	for i := 0; i < 32; i++ {
+		prefix := fmt.Sprintf("bus.iface.inst%d.in", i)
+		reg.Counter(prefix + ".sent").Add(int64(i))
+		reg.Counter(prefix + ".delivered").Add(int64(i))
+		reg.Gauge(prefix + ".queue_depth").Set(int64(i % 7))
+		h := reg.Histogram(prefix + ".delivery_latency_ns")
+		for j := 0; j < 100; j++ {
+			h.ObserveNs(int64(1000 + i*j))
+		}
+	}
+	roller := timeseries.New(reg, timeseries.Config{Window: time.Second, Windows: 120})
+	roller.Roll() // populate the series map before measuring steady state
+	rollNs := benchNs(func() { roller.Roll() })
+
+	// Message roundtrip against a telemetry-carrying bus, rollups off.
+	payload := make([]byte, 64)
+	pair := func() (bus.Port, bus.Port, *bus.Bus) {
+		t.Helper()
+		bb := bus.New()
+		for _, spec := range []bus.InstanceSpec{
+			{Name: "src", Interfaces: []bus.IfaceSpec{{Name: "out", Dir: bus.Out}}},
+			{Name: "dst", Interfaces: []bus.IfaceSpec{{Name: "in", Dir: bus.In}}},
+		} {
+			if err := bb.AddInstance(spec); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := bb.AddBinding(bus.Endpoint{Instance: "src", Interface: "out"}, bus.Endpoint{Instance: "dst", Interface: "in"}); err != nil {
+			t.Fatal(err)
+		}
+		src, err := bb.Attach("src")
+		if err != nil {
+			t.Fatal(err)
+		}
+		dst, err := bb.Attach("dst")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return src, dst, bb
+	}
+	roundtrip := func(src, dst bus.Port) func() {
+		return func() {
+			if err := src.Write("out", payload); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := dst.Read("in"); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	offSrc, offDst, _ := pair()
+	offNs := benchNs(roundtrip(offSrc, offDst))
+	offAllocs := testing.AllocsPerRun(2000, roundtrip(offSrc, offDst))
+
+	// Rollups on: a roller sampling the same registry every 1ms, live for
+	// the whole measurement.
+	onSrc, onDst, onBus := pair()
+	live := timeseries.New(onBus.Telemetry(), timeseries.Config{Window: time.Millisecond, Windows: 120})
+	live.Start()
+	defer live.Stop()
+	onNs := benchNs(roundtrip(onSrc, onDst))
+	onAllocs := testing.AllocsPerRun(2000, roundtrip(onSrc, onDst))
+	if live.Rolled() == 0 {
+		t.Error("roller never rolled during the measurement: the rollups-on number is meaningless")
+	}
+
+	allocDelta := onAllocs - offAllocs
+	if allocDelta != 0 {
+		t.Errorf("rollups add %v allocs per message (on=%v off=%v), want exactly 0",
+			allocDelta, onAllocs, offAllocs)
+	}
+
+	report := map[string]any{
+		"benchmark": "timeseries_overhead",
+		"roller": map[string]any{
+			"ns_per_roll":        rollNs,
+			"metrics":            len(roller.Names()),
+			"windows":            roller.Depth(),
+			"window":             roller.Window().String(),
+			"memory_bound_bytes": roller.MemoryBound(),
+		},
+		"message_roundtrip": map[string]float64{
+			"rollups_off_ns_op":    offNs,
+			"rollups_on_ns_op":     onNs,
+			"overhead_ns_op":       onNs - offNs,
+			"allocs_per_msg_on":    onAllocs,
+			"allocs_per_msg_delta": allocDelta,
+		},
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", out)
+}
